@@ -1,0 +1,45 @@
+"""Shared driver for the scheduling-table benches (Tables 4-9).
+
+Each bench regenerates its table with the frozen paper configuration,
+asserts the qualitative shape (trust-aware wins, improvement within a band
+around the paper's value), and saves the rendering.
+"""
+
+from __future__ import annotations
+
+from conftest import save_and_echo
+
+from repro.experiments.tables import reproduce_scheduling_table
+
+#: Replications per cell; the paper's tables are averages of repeated
+#: stochastic runs, and 30 keeps the bench under ~10 s per table.
+REPLICATIONS = 30
+
+
+def run_table_bench(
+    benchmark,
+    results_dir,
+    number: int,
+    *,
+    improvement_band: tuple[float, float],
+) -> None:
+    """Regenerate table ``number`` and assert its shape."""
+    repro = benchmark.pedantic(
+        reproduce_scheduling_table,
+        kwargs=dict(number=number, replications=REPLICATIONS),
+        rounds=1,
+        iterations=1,
+    )
+    save_and_echo(results_dir, repro.name, repro.rendering)
+    lo, hi = improvement_band
+    for n_tasks, cell in repro.data["cells"].items():
+        assert cell.aware_completion.mean < cell.unaware_completion.mean, (
+            f"trust-aware must win at n={n_tasks}"
+        )
+        assert lo <= cell.mean_improvement <= hi, (
+            f"improvement {cell.mean_improvement:.1%} at n={n_tasks} outside "
+            f"[{lo:.0%}, {hi:.0%}]"
+        )
+        # The paper's >90% utilisation regime (batch modes idle during
+        # batch-formation windows, so their floor is lower).
+        assert cell.unaware_utilization.mean > 0.60

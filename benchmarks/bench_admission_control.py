@@ -1,0 +1,71 @@
+"""Extension bench — hard trust constraints (admission control).
+
+Sweeps the hard trust-cost threshold of the intro's "will not run on
+untrusted resources" semantics: as the bound tightens, strict admission
+control rejects more requests while the admitted ones run at ever lower
+trust cost; the relaxed variant never rejects but degrades toward the
+unconstrained schedule when the bound is unattainable.
+"""
+
+import numpy as np
+from conftest import save_and_echo
+
+from repro.metrics.report import Table, format_percent, format_seconds
+from repro.scheduling.constraints import InfeasiblePolicy, TrustConstraint
+from repro.scheduling.mct import MctHeuristic
+from repro.scheduling.policy import TrustPolicy
+from repro.scheduling.scheduler import TRMScheduler
+from repro.workloads.scenario import ScenarioSpec, materialize
+
+THRESHOLDS = (6, 2, 1, 0)
+SEEDS = range(10)
+
+
+def run_sweep():
+    spec = ScenarioSpec(n_tasks=50, target_load=4.5, rd_range=(3, 4))
+    rows = {}
+    for threshold in THRESHOLDS:
+        stats = {"rejection": [], "tc": [], "ct": []}
+        for seed in SEEDS:
+            scenario = materialize(spec, seed=seed)
+            constraint = TrustConstraint(
+                max_trust_cost=threshold, infeasible=InfeasiblePolicy.REJECT
+            )
+            result = TRMScheduler(
+                scenario.grid,
+                scenario.eec,
+                TrustPolicy.aware(unaware_fraction=0.9),
+                MctHeuristic(),
+                constraint=constraint,
+            ).run(scenario.requests)
+            stats["rejection"].append(result.rejection_rate)
+            if result.records:
+                stats["tc"].append(
+                    float(np.mean([r.trust_cost for r in result.records]))
+                )
+                stats["ct"].append(result.average_completion_time)
+        rows[threshold] = {k: float(np.mean(v)) if v else float("nan") for k, v in stats.items()}
+    return rows
+
+
+def test_admission_control(benchmark, results_dir):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    table = Table(
+        headers=["Max TC", "Rejection rate", "Mean TC (admitted)", "Avg CT (admitted)"],
+        title="Hard trust constraints with strict admission control (MCT).",
+    )
+    for threshold in THRESHOLDS:
+        r = rows[threshold]
+        table.add_row(
+            threshold,
+            format_percent(r["rejection"]),
+            f"{r['tc']:.2f}",
+            format_seconds(r["ct"]),
+        )
+    save_and_echo(results_dir, "admission_control", table.render())
+
+    # Tighter bounds reject more and admit only better-trusted work.
+    assert rows[6]["rejection"] == 0.0
+    assert rows[0]["rejection"] >= rows[1]["rejection"] >= rows[2]["rejection"]
+    assert rows[0]["tc"] <= rows[2]["tc"] <= rows[6]["tc"] + 1e-9

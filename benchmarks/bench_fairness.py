@@ -1,0 +1,51 @@
+"""Extension bench — does trust-awareness cost per-domain fairness?
+
+Trust-aware mapping favours well-trusted (CD, RD) pairings, so client
+domains with poor trust standing could see systematically worse flow
+times.  This bench measures Jain's fairness index over per-CD mean flow
+times, aware vs unaware, across replications: the aware scheduler gives a
+lower-but-still-high fairness, quantifying the equity price of the ~37 %
+mean improvement.
+"""
+
+import numpy as np
+from conftest import save_and_echo
+
+from repro.experiments.config import paper_policies, paper_spec
+from repro.experiments.runner import run_single
+from repro.metrics.report import Table, format_percent
+from repro.metrics.schedule import domain_fairness
+from repro.workloads.consistency import Consistency
+from repro.workloads.scenario import materialize
+
+REPS = 20
+
+
+def test_domain_fairness(benchmark, results_dir):
+    aware, unaware = paper_policies()
+    spec = paper_spec(60, Consistency.INCONSISTENT)
+
+    def run_all():
+        rows = {"trust-aware": [], "trust-unaware": []}
+        for seed in range(REPS):
+            scenario = materialize(spec, seed=seed)
+            domain_of = {r.index: r.client_domain_index for r in scenario.requests}
+            for label, policy in (("trust-aware", aware), ("trust-unaware", unaware)):
+                result = run_single(spec, "mct", policy, seed)
+                rows[label].append(domain_fairness(result.records, domain_of))
+        return {k: float(np.mean(v)) for k, v in rows.items()}
+
+    fairness = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    table = Table(
+        headers=["Policy", "Mean Jain fairness (per-CD flow time)"],
+        title=f"Equity of the schedules over {REPS} replications (MCT, 60 tasks).",
+    )
+    for label, value in fairness.items():
+        table.add_row(label, format_percent(value))
+    save_and_echo(results_dir, "domain_fairness", table.render())
+
+    # Both policies stay reasonably fair; awareness may cost a few points
+    # but must not collapse equity.
+    assert fairness["trust-aware"] > 0.55
+    assert fairness["trust-unaware"] > 0.55

@@ -1,0 +1,73 @@
+"""Performance bench — reference vs vectorised batch heuristics.
+
+Measures the planning throughput of the reference Min-min/Sufferage against
+their vectorised fast paths on a large meta-request, per the HPC guides'
+"measure, don't guess" rule.  The equivalence of the produced plans is
+asserted in-line (and property-tested in the test suite).
+"""
+
+import numpy as np
+import pytest
+
+from conftest import save_and_echo
+
+from repro.metrics.report import Table
+from repro.scheduling.costs import CostProvider
+from repro.scheduling.fast import FastMinMinHeuristic, FastSufferageHeuristic
+from repro.scheduling.minmin import MinMinHeuristic
+from repro.scheduling.policy import TrustPolicy
+from repro.scheduling.sufferage import SufferageHeuristic
+from repro.workloads.scenario import ScenarioSpec, materialize
+
+N_TASKS = 300
+N_MACHINES = 16
+
+
+@pytest.fixture(scope="module")
+def big_batch():
+    spec = ScenarioSpec(n_tasks=N_TASKS, n_machines=N_MACHINES, target_load=3.0)
+    scenario = materialize(spec, seed=0)
+    costs = CostProvider(
+        grid=scenario.grid, eec=scenario.eec, policy=TrustPolicy.aware()
+    )
+    return list(scenario.requests), costs, np.zeros(N_MACHINES)
+
+
+@pytest.mark.parametrize(
+    "Heuristic",
+    [MinMinHeuristic, FastMinMinHeuristic, SufferageHeuristic, FastSufferageHeuristic],
+    ids=lambda h: h.__name__,
+)
+def test_batch_planning_speed(benchmark, big_batch, Heuristic):
+    requests, costs, avail = big_batch
+    plan = benchmark(lambda: Heuristic().plan(requests, costs, avail.copy()))
+    assert len(plan) == N_TASKS
+
+
+def test_fast_paths_match_reference(benchmark, big_batch, results_dir):
+    requests, costs, avail = big_batch
+
+    def compare_all():
+        rows = []
+        for Ref, Fast in (
+            (MinMinHeuristic, FastMinMinHeuristic),
+            (SufferageHeuristic, FastSufferageHeuristic),
+        ):
+            ref = Ref().plan(requests, costs, avail.copy())
+            fast = Fast().plan(requests, costs, avail.copy())
+            identical = [(p.request.index, p.machine_index) for p in ref] == [
+                (p.request.index, p.machine_index) for p in fast
+            ]
+            rows.append((Ref.__name__, Fast.__name__, identical))
+        return rows
+
+    rows = benchmark.pedantic(compare_all, rounds=1, iterations=1)
+    assert all(identical for *_names, identical in rows)
+
+    table = Table(
+        headers=["Reference", "Fast path", "Plans identical"],
+        title=f"Vectorised fast paths, {N_TASKS} tasks x {N_MACHINES} machines.",
+    )
+    for row in rows:
+        table.add_row(*row)
+    save_and_echo(results_dir, "fast_heuristics", table.render())

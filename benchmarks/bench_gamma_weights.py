@@ -1,0 +1,44 @@
+"""Extension bench — the direct-vs-reputation weighting (α, β).
+
+Section 2.2 recommends α > β without evaluating it; this bench runs the
+closed Figure-1 loop with Γ-publishing agents across the α spectrum and
+reports the learned trust-level-table error against ground truth.  The
+expected shape: pure direct trust (α = 1) is noisy under sparse evidence,
+heavy reputation (α → 0) dilutes first-hand knowledge, the blend wins —
+consistent with the paper's "α will be larger than β" guidance.
+"""
+
+from conftest import save_and_echo
+
+from repro.analysis.gamma_weights import ablate_gamma_weights
+from repro.metrics.report import Table
+
+ALPHAS = (1.0, 0.9, 0.7, 0.5, 0.3, 0.0)
+
+
+def test_gamma_weights(benchmark, results_dir):
+    outcomes = benchmark.pedantic(
+        ablate_gamma_weights,
+        kwargs=dict(alphas=ALPHAS, rounds=5, requests_per_round=30),
+        rounds=1,
+        iterations=1,
+    )
+
+    table = Table(
+        headers=["alpha (direct)", "beta (reputation)", "Mean level error", "Updates"],
+        title="Trust-table accuracy vs Γ weighting (closed loop, 5 rounds).",
+    )
+    for o in outcomes:
+        table.add_row(
+            f"{o.alpha:.1f}", f"{o.beta:.1f}", f"{o.mean_level_error:.2f}",
+            o.published_updates,
+        )
+    save_and_echo(results_dir, "gamma_weights", table.render())
+
+    by_alpha = {o.alpha: o.mean_level_error for o in outcomes}
+    # Everything learns (cold-table error against this truth is ~2.2).
+    assert max(by_alpha.values()) < 1.6
+    # Some blended weighting is at least as good as either extreme.
+    best_blend = min(v for a, v in by_alpha.items() if 0.0 < a < 1.0)
+    assert best_blend <= by_alpha[1.0] + 1e-9
+    assert best_blend <= by_alpha[0.0] + 1e-9

@@ -1,0 +1,26 @@
+"""Supplementary figure — improvement vs offered load.
+
+The paper evaluates at a single (unpublished) load; this series shows where
+the trust advantage appears: negligible for an underloaded Grid (completion
+is arrival-dominated) and converging to the service-cost ratio as the
+machines saturate.
+"""
+
+from conftest import save_and_echo
+
+from repro.experiments.series import ascii_chart, improvement_vs_load
+
+
+def test_series_improvement_vs_load(benchmark, results_dir):
+    series = benchmark.pedantic(
+        improvement_vs_load,
+        kwargs=dict(loads=(0.25, 0.5, 1.0, 2.0, 4.0, 8.0), replications=8),
+        rounds=1,
+        iterations=1,
+    )
+    chart = ascii_chart(series)
+    save_and_echo(results_dir, "series_improvement_vs_load", chart)
+    ys = series.ys
+    # Monotone-ish growth: saturated improvement well above the idle one.
+    assert ys[-1] > ys[0] + 0.15
+    assert ys[-1] > 0.25

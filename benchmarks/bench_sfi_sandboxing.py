@@ -1,0 +1,42 @@
+"""Section 5.1 — MiSFIT / SASI x86SFI sandboxing overheads.
+
+Paper values: hotlist 137 % / 264 %, log-disk 58 % / 65 %, MD5 33 % / 36 %.
+"""
+
+import numpy as np
+from conftest import save_and_echo
+
+from repro.experiments.tables import reproduce_sfi_overheads
+from repro.security.sandbox import (
+    BENCHMARK_APPS,
+    MISFIT,
+    SASI_X86SFI,
+    simulate_sandboxed_run,
+)
+
+
+def test_sfi_sandboxing(benchmark, results_dir):
+    repro = benchmark(reproduce_sfi_overheads)
+    save_and_echo(results_dir, "sfi_sandboxing", repro.rendering)
+    rows = repro.data["rows"]
+    hotlist = rows["page-eviction hotlist"]
+    assert 1.2 <= hotlist["misfit"] <= 1.55
+    assert 2.3 <= hotlist["sasi"] <= 2.9
+    assert 0.5 <= rows["logical log-structured disk"]["misfit"] <= 0.7
+    assert 0.28 <= rows["MD5"]["misfit"] <= 0.40
+
+
+def test_sfi_simulated_streams(benchmark, results_dir):
+    """Sampled instruction streams converge to the analytic overheads."""
+    rng = np.random.default_rng(0)
+
+    def run_all():
+        return {
+            (app.name, tool.name): simulate_sandboxed_run(app, tool, rng)
+            for app in BENCHMARK_APPS
+            for tool in (MISFIT, SASI_X86SFI)
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    for (app_name, tool_name), overhead in results.items():
+        assert overhead > 0.2, f"{app_name} under {tool_name} too cheap"

@@ -1,0 +1,14 @@
+"""Table 1 — the expected-trust-supplement matrix."""
+
+from conftest import save_and_echo
+
+from repro.experiments.tables import reproduce_table1
+
+
+def test_table1_ets(benchmark, results_dir):
+    repro = benchmark(reproduce_table1)
+    save_and_echo(results_dir, "table1_ets", repro.rendering)
+    # Shape assertions: the matrix is the paper's Table 1.
+    assert repro.data["matrix"].shape == (6, 5)
+    assert repro.data["matrix"][5].tolist() == [6, 6, 6, 6, 6]  # row F
+    assert repro.data["matrix"][0].tolist() == [0, 0, 0, 0, 0]  # row A

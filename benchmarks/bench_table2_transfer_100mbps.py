@@ -1,0 +1,16 @@
+"""Table 2 — rcp vs scp on a 100 Mbps network."""
+
+from conftest import save_and_echo
+
+from repro.experiments.tables import reproduce_table2
+
+
+def test_table2_transfer_100mbps(benchmark, results_dir):
+    repro = benchmark(reproduce_table2)
+    save_and_echo(results_dir, "table2_transfer_100mbps", repro.rendering)
+    rows = repro.data["rows"]
+    # Paper shape: ~70% overhead at 1 MB, settling to ~36-37% for large files.
+    assert rows[1]["overhead"] > 0.6
+    assert 0.30 <= rows[1000]["overhead"] <= 0.42
+    # Monotone decrease towards the steady state.
+    assert rows[1]["overhead"] > rows[100]["overhead"] >= rows[1000]["overhead"] - 0.02

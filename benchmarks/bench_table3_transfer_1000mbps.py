@@ -1,0 +1,19 @@
+"""Table 3 — rcp vs scp on a 1000 Mbps network."""
+
+from conftest import save_and_echo
+
+from repro.experiments.tables import reproduce_table2, reproduce_table3
+
+
+def test_table3_transfer_1000mbps(benchmark, results_dir):
+    repro = benchmark(reproduce_table3)
+    save_and_echo(results_dir, "table3_transfer_1000mbps", repro.rendering)
+    rows = repro.data["rows"]
+    # Paper's headline: the security overhead negates the fast network —
+    # steady-state overhead is much larger than on 100 Mbps (~67% vs ~37%).
+    assert 0.55 <= rows[1000]["overhead"] <= 0.80
+    t2 = reproduce_table2().data["rows"]
+    for size in (100, 500, 1000):
+        assert rows[size]["overhead"] > t2[size]["overhead"]
+    # scp barely benefits from the 10x faster wire (cipher-bound).
+    assert abs(rows[1000]["scp"] - t2[1000]["scp"]) / t2[1000]["scp"] < 0.05

@@ -1,0 +1,7 @@
+"""Table 4 — trust-aware vs unaware MCT, inconsistent LoLo (paper: ~37%)."""
+
+from _scheduling import run_table_bench
+
+
+def test_table4_mct_inconsistent(benchmark, results_dir):
+    run_table_bench(benchmark, results_dir, 4, improvement_band=(0.25, 0.48))

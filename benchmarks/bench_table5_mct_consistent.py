@@ -1,0 +1,7 @@
+"""Table 5 — trust-aware vs unaware MCT, consistent LoLo (paper: ~34%)."""
+
+from _scheduling import run_table_bench
+
+
+def test_table5_mct_consistent(benchmark, results_dir):
+    run_table_bench(benchmark, results_dir, 5, improvement_band=(0.25, 0.48))

@@ -1,0 +1,7 @@
+"""Table 6 — trust-aware vs unaware Min-min, inconsistent LoLo (paper: ~23%)."""
+
+from _scheduling import run_table_bench
+
+
+def test_table6_minmin_inconsistent(benchmark, results_dir):
+    run_table_bench(benchmark, results_dir, 6, improvement_band=(0.12, 0.38))

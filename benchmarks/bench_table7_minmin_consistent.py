@@ -1,0 +1,7 @@
+"""Table 7 — trust-aware vs unaware Min-min, consistent LoLo (paper: ~25%)."""
+
+from _scheduling import run_table_bench
+
+
+def test_table7_minmin_consistent(benchmark, results_dir):
+    run_table_bench(benchmark, results_dir, 7, improvement_band=(0.12, 0.40))

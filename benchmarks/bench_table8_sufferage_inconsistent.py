@@ -1,0 +1,7 @@
+"""Table 8 — trust-aware vs unaware Sufferage, inconsistent LoLo (paper: ~39%)."""
+
+from _scheduling import run_table_bench
+
+
+def test_table8_sufferage_inconsistent(benchmark, results_dir):
+    run_table_bench(benchmark, results_dir, 8, improvement_band=(0.15, 0.45))

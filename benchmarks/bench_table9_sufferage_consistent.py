@@ -1,0 +1,7 @@
+"""Table 9 — trust-aware vs unaware Sufferage, consistent LoLo (paper: ~33%)."""
+
+from _scheduling import run_table_bench
+
+
+def test_table9_sufferage_consistent(benchmark, results_dir):
+    run_table_bench(benchmark, results_dir, 9, improvement_band=(0.15, 0.45))

@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper, times it with
+pytest-benchmark, and writes the rendered output (side by side with the
+published values) to ``benchmarks/results/<name>.txt`` so the reproduction
+evidence is inspectable after a run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory where benches drop their rendered tables."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_and_echo(results_dir: Path, name: str, rendering: str) -> None:
+    """Persist a rendering and echo it to stdout (visible with ``-s``)."""
+    path = results_dir / f"{name}.txt"
+    path.write_text(rendering + "\n", encoding="utf-8")
+    print(f"\n{rendering}\n[saved to {path}]")

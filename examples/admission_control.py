@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Hard trust constraints: "my job must not run on untrusted resources".
+
+The paper's introduction motivates trust-aware scheduling with consumers
+who refuse untrusted resources outright — a *hard* constraint the
+cost-based model softens.  This example sweeps the hard trust-cost bound
+under both infeasibility policies:
+
+* ``REJECT`` (strict admission control): tighter bounds refuse more
+  requests but every admitted one honours the bound;
+* ``RELAX`` (best effort): nothing is refused; requests with no feasible
+  machine fall back to the unconstrained machine set.
+
+It also prints the per-request :class:`SecurityPlan` for the least-trusted
+admitted assignment — the concrete mechanisms behind the scalar cost.
+
+Run:
+    python examples/admission_control.py
+"""
+
+import numpy as np
+
+from repro.metrics import Table, format_percent, format_seconds
+from repro.scheduling import (
+    InfeasiblePolicy,
+    MctHeuristic,
+    TrustConstraint,
+    TRMScheduler,
+    TrustPolicy,
+)
+from repro.security import plan_supplement
+from repro.workloads import ScenarioSpec, materialize
+
+
+def sweep(policy_kind: InfeasiblePolicy) -> None:
+    spec = ScenarioSpec(n_tasks=60, target_load=4.5, rd_range=(3, 4))
+    table = Table(
+        headers=["Max TC", "Rejected", "Mean TC", "Avg completion"],
+        title=f"infeasible policy = {policy_kind.value}:",
+    )
+    for threshold in (6, 2, 1, 0):
+        rejections, tcs, cts = [], [], []
+        for seed in range(8):
+            scenario = materialize(spec, seed=seed)
+            result = TRMScheduler(
+                scenario.grid,
+                scenario.eec,
+                TrustPolicy.aware(unaware_fraction=0.9),
+                MctHeuristic(),
+                constraint=TrustConstraint(
+                    max_trust_cost=threshold, infeasible=policy_kind
+                ),
+            ).run(scenario.requests)
+            rejections.append(result.rejection_rate)
+            if result.records:
+                tcs.append(float(np.mean([r.trust_cost for r in result.records])))
+                cts.append(result.average_completion_time)
+        table.add_row(
+            threshold,
+            format_percent(float(np.mean(rejections))),
+            f"{np.mean(tcs):.2f}",
+            format_seconds(float(np.mean(cts))),
+        )
+    print(table.render())
+    print()
+
+
+def show_security_plan() -> None:
+    scenario = materialize(ScenarioSpec(n_tasks=40, target_load=4.5), seed=5)
+    result = TRMScheduler(
+        scenario.grid,
+        scenario.eec,
+        TrustPolicy.aware(unaware_fraction=0.9),
+        MctHeuristic(),
+    ).run(scenario.requests)
+    worst = max(result.records, key=lambda r: r.trust_cost)
+    request = scenario.requests[worst.request_index]
+    print(
+        f"least-trusted admitted assignment: request {worst.request_index} "
+        f"on machine {worst.machine_index}"
+    )
+    print(plan_supplement(request.task.activities, int(worst.trust_cost)).describe())
+
+
+if __name__ == "__main__":
+    sweep(InfeasiblePolicy.REJECT)
+    sweep(InfeasiblePolicy.RELAX)
+    show_security_plan()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Extending the library: write, register and evaluate a custom heuristic.
+
+A downstream-user story: implement a new trust-aware mapping heuristic —
+*trust-first MCT*, which only considers the machines with the lowest trust
+cost for the request and picks the earliest completion among them — plug it
+into the registry, and run it through the exact experiment harness used for
+the paper tables, significance test included.
+
+Run:
+    python examples/custom_heuristic.py
+"""
+
+import numpy as np
+
+from repro.experiments import paper_policies, paper_spec, run_paired_cell
+from repro.metrics import Table, format_percent, format_seconds
+from repro.scheduling import ImmediateHeuristic, register_heuristic
+from repro.scheduling.base import check_avail
+from repro.workloads import Consistency
+
+
+class TrustFirstMct(ImmediateHeuristic):
+    """Earliest completion cost among the minimum-trust-cost machines.
+
+    Where plain MCT trades trust against execution speed implicitly
+    (through the blended ECC), this heuristic makes trust lexicographically
+    dominant: first restrict to the machines whose TC equals the request's
+    minimum, then apply MCT within that subset.
+    """
+
+    name = "trust-first-mct"
+
+    def choose(self, request, costs, avail):
+        avail = check_avail(avail, costs.grid.n_machines)
+        tc = costs.trust_cost_row(request)
+        candidates = np.flatnonzero(tc == tc.min())
+        completion = avail[candidates] + costs.mapping_ecc_row(request)[candidates]
+        return int(candidates[int(np.argmin(completion))])
+
+
+def main() -> None:
+    register_heuristic("trust-first-mct", TrustFirstMct)
+
+    aware, unaware = paper_policies()
+    spec = paper_spec(50, Consistency.INCONSISTENT)
+
+    table = Table(
+        headers=["Heuristic", "Unaware CT", "Aware CT", "Improvement", "p-value"],
+        title="Custom heuristic vs the paper's MCT (15 replications):",
+    )
+    for name in ("mct", "trust-first-mct"):
+        cell = run_paired_cell(
+            spec, name, aware, unaware, replications=15, batch_interval=None
+        )
+        test = cell.significance()
+        table.add_row(
+            name,
+            format_seconds(cell.unaware_completion.mean),
+            format_seconds(cell.aware_completion.mean),
+            format_percent(cell.mean_improvement),
+            f"{test.p_value:.2g}",
+        )
+    print(table.render())
+    print(
+        "\ntrust-first mapping maximises trust affinity at the price of load"
+        "\nbalance — compare the aware completion times to see the trade-off."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""The Section-5.1 security overhead study, end to end.
+
+Reproduces the measurements that motivate trust-aware scheduling:
+
+1. rcp vs scp transfer times on 100 Mbps and 1000 Mbps networks (the
+   paper's Tables 2-3), plus what-if rows for faster ciphers and a modern
+   CPU — showing *why* the overhead exists (the cipher pipeline stage).
+2. MiSFIT / SASI x86SFI sandboxing overheads for the three benchmark
+   applications, from both the analytic model and sampled instruction
+   streams.
+3. The supplement ladder: stacking the measured mechanisms per missing
+   trust level and fitting the per-level weight — grounding the paper's
+   "arbitrarily chosen" 15 %/level.
+
+Run:
+    python examples/security_overhead_study.py
+"""
+
+import numpy as np
+
+from repro.metrics import Table, format_percent
+from repro.security import (
+    AES128_SHA1,
+    BENCHMARK_APPS,
+    DEFAULT_LADDER,
+    FAST_ETHERNET,
+    GIGABIT_ETHERNET,
+    MISFIT,
+    SASI_X86SFI,
+    SCP,
+    RCP,
+    HostCpu,
+    TransferEndpoint,
+    TransferProtocol,
+    calibrate_weight,
+    linear_supplement_fraction,
+    predicted_overhead,
+    simulate_sandboxed_run,
+    simulate_transfer,
+    transfer_overhead,
+)
+
+FILE_SIZES = (1, 10, 100, 500, 1000)
+
+
+def transfer_study() -> None:
+    print("== Secure vs regular transmission (Tables 2-3) ==")
+    for link in (FAST_ETHERNET, GIGABIT_ETHERNET):
+        table = Table(
+            headers=["File/MB", "rcp (s)", "scp (s)", "overhead"],
+            title=f"{link.name} network:",
+        )
+        for size in FILE_SIZES:
+            table.add_row(
+                size,
+                f"{simulate_transfer(size, RCP, link):.2f}",
+                f"{simulate_transfer(size, SCP, link):.2f}",
+                format_percent(transfer_overhead(size, link)),
+            )
+        print(table.render())
+        print()
+
+    print("What if the cipher were not the bottleneck?")
+    scp_aes = TransferProtocol("scp-aes128", handshake_s=0.5, cipher=AES128_SHA1)
+    modern = TransferEndpoint(cpu=HostCpu("3 GHz", clock_mhz=3000.0), disk_mbs=80.0)
+    for label, protocol, endpoint in (
+        ("PIII-866 + 3DES (paper)", SCP, TransferEndpoint()),
+        ("PIII-866 + AES-128", scp_aes, TransferEndpoint()),
+        ("3 GHz + AES-128", scp_aes, modern),
+    ):
+        t = simulate_transfer(1000, protocol, GIGABIT_ETHERNET, endpoint)
+        r = simulate_transfer(1000, RCP, GIGABIT_ETHERNET, endpoint)
+        print(f"  {label:<26} scp 1000MB = {t:7.2f}s  overhead {format_percent(1 - r / t)}")
+    print()
+
+
+def sandbox_study() -> None:
+    print("== SFI sandboxing overheads (Section 5.1) ==")
+    rng = np.random.default_rng(0)
+    table = Table(
+        headers=["Application", "MiSFIT model", "MiSFIT sampled", "SASI model", "SASI sampled"]
+    )
+    for app in BENCHMARK_APPS:
+        table.add_row(
+            app.name,
+            format_percent(predicted_overhead(app, MISFIT), 0),
+            format_percent(simulate_sandboxed_run(app, MISFIT, rng), 0),
+            format_percent(predicted_overhead(app, SASI_X86SFI), 0),
+            format_percent(simulate_sandboxed_run(app, SASI_X86SFI, rng), 0),
+        )
+    print(table.render())
+    print()
+
+
+def ladder_study() -> None:
+    print("== Supplement ladder: grounding the 15%/level weight ==")
+    table = Table(headers=["TC", "ladder overhead", "linear (15%/level)"])
+    for tc in range(7):
+        table.add_row(
+            tc,
+            format_percent(DEFAULT_LADDER.overhead(tc)),
+            format_percent(linear_supplement_fraction(tc)),
+        )
+    print(table.render())
+    weight = calibrate_weight(DEFAULT_LADDER)
+    print(
+        f"least-squares per-level weight of the mechanism ladder: "
+        f"{weight:.1f}% (the paper chose 15%)\n"
+    )
+
+
+if __name__ == "__main__":
+    transfer_study()
+    sandbox_study()
+    ladder_study()

@@ -1,0 +1,62 @@
+"""repro — reproduction of "Integrating Trust into Grid Resource Management
+Systems" (Azzedin & Maheswaran, ICPP 2002).
+
+A trust-aware Grid resource management system: a trust/reputation engine,
+a Grid domain model with a central trust-level table, trust-aware scheduling
+heuristics (MCT, Min-min, Sufferage and the [10] baselines), a discrete-event
+simulation substrate, security-overhead models, and the experiment harness
+regenerating every table and figure of the paper.
+
+Quickstart::
+
+    from repro import ScenarioSpec, materialize, TrustPolicy, TRMScheduler
+    from repro.scheduling import MctHeuristic
+
+    scenario = materialize(ScenarioSpec(n_tasks=50), seed=1)
+    result = TRMScheduler(
+        scenario.grid, scenario.eec, TrustPolicy.aware(), MctHeuristic()
+    ).run(scenario.requests)
+    print(result.average_completion_time, result.machine_utilization)
+"""
+
+from repro.core import (
+    EtsTable,
+    TrustEngine,
+    TrustLevel,
+    TrustTable,
+    expected_trust_supplement,
+)
+from repro.grid import Grid, GridBuilder, GridTrustTable
+from repro.scheduling import (
+    ScheduleResult,
+    SecurityAccounting,
+    TRMScheduler,
+    TrustPolicy,
+    make_heuristic,
+)
+from repro.sim import RngFactory, Simulator
+from repro.workloads import Scenario, ScenarioSpec, materialize
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EtsTable",
+    "TrustEngine",
+    "TrustLevel",
+    "TrustTable",
+    "expected_trust_supplement",
+    "Grid",
+    "GridBuilder",
+    "GridTrustTable",
+    "ScheduleResult",
+    "SecurityAccounting",
+    "TRMScheduler",
+    "TrustPolicy",
+    "make_heuristic",
+    "RngFactory",
+    "Simulator",
+    "Scenario",
+    "ScenarioSpec",
+    "materialize",
+    "__version__",
+]

@@ -1,0 +1,126 @@
+"""Ablations of the reproduction-critical design choices.
+
+DESIGN.md records several places where the paper under-specifies its
+simulation; every such choice gets an ablation here so the effect of the
+choice is measurable rather than asserted:
+
+* ``ablate_accounting`` — CONSERVATIVE_FLAT vs PAIR_REALIZED;
+* ``ablate_unaware_fraction`` — the blanket-security surcharge (paper
+  formula 0.5 vs the worst-case-supplement 0.9 the results imply);
+* ``ablate_otl_granularity`` — composite OTL per (CD, RD) pair vs
+  per-activity OTLs with min-composition;
+* ``ablate_f_override`` — Table 1's ``RTL=F → TC=6`` row on/off;
+* ``ablate_tc_weight`` — the 15 %/level weight.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.analysis.sweep import SweepPoint, sweep_policy
+from repro.experiments.config import (
+    PAPER_BATCH_INTERVAL,
+    paper_policies,
+    paper_spec,
+)
+from repro.experiments.runner import run_paired_cell
+from repro.scheduling.policy import SecurityAccounting
+from repro.workloads.consistency import Consistency
+
+__all__ = [
+    "ablate_accounting",
+    "ablate_unaware_fraction",
+    "ablate_otl_granularity",
+    "ablate_f_override",
+    "ablate_tc_weight",
+]
+
+_DEFAULTS = dict(n_tasks=50, consistency=Consistency.INCONSISTENT)
+
+
+def ablate_accounting(
+    *, heuristic: str = "mct", replications: int = 10, base_seed: int = 0
+) -> list[SweepPoint]:
+    """Improvement under each security-accounting convention."""
+    return sweep_policy(
+        accountings=(
+            SecurityAccounting.CONSERVATIVE_FLAT,
+            SecurityAccounting.PAIR_REALIZED,
+        ),
+        heuristic=heuristic,
+        replications=replications,
+        base_seed=base_seed,
+        **_DEFAULTS,
+    )
+
+
+def ablate_unaware_fraction(
+    fractions: Sequence[float] = (0.5, 0.75, 0.9),
+    *,
+    heuristic: str = "mct",
+    replications: int = 10,
+    base_seed: int = 0,
+) -> list[SweepPoint]:
+    """Improvement as a function of the blanket-security surcharge."""
+    return sweep_policy(
+        unaware_fractions=tuple(fractions),
+        heuristic=heuristic,
+        replications=replications,
+        base_seed=base_seed,
+        **_DEFAULTS,
+    )
+
+
+def ablate_tc_weight(
+    weights: Sequence[float] = (5.0, 10.0, 15.0, 20.0, 25.0),
+    *,
+    heuristic: str = "mct",
+    replications: int = 10,
+    base_seed: int = 0,
+) -> list[SweepPoint]:
+    """Improvement as a function of the per-level trust-cost weight."""
+    return sweep_policy(
+        tc_weights=tuple(weights),
+        heuristic=heuristic,
+        replications=replications,
+        base_seed=base_seed,
+        **_DEFAULTS,
+    )
+
+
+def _scenario_flag_ablation(
+    flag: str, values: Sequence[object], heuristic: str, replications: int, base_seed: int
+) -> list[SweepPoint]:
+    aware, unaware = paper_policies()
+    points: list[SweepPoint] = []
+    for value in values:
+        spec = paper_spec(50, Consistency.INCONSISTENT, **{flag: value})
+        cell = run_paired_cell(
+            spec,
+            heuristic,
+            aware,
+            unaware,
+            replications=replications,
+            base_seed=base_seed,
+            batch_interval=PAPER_BATCH_INTERVAL,
+        )
+        points.append(SweepPoint(value=value, cell=cell))
+    return points
+
+
+def ablate_otl_granularity(
+    *, heuristic: str = "mct", replications: int = 10, base_seed: int = 0
+) -> list[SweepPoint]:
+    """Composite per-pair OTLs (True) vs per-activity OTLs (False)."""
+    return _scenario_flag_ablation(
+        "otl_per_pair", (True, False), heuristic, replications, base_seed
+    )
+
+
+def ablate_f_override(
+    *, heuristic: str = "mct", replications: int = 10, base_seed: int = 0
+) -> list[SweepPoint]:
+    """Table 1's F-row override off (False, default) vs on (True)."""
+    return _scenario_flag_ablation(
+        "ets_f_forces_max", (False, True), heuristic, replications, base_seed
+    )

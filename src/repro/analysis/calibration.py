@@ -1,0 +1,122 @@
+"""Calibration analysis: why the frozen configuration is what it is.
+
+DESIGN.md §2 claims the paper's printed 50 % blanket surcharge cannot
+produce its reported 35–40 % improvements.  This module carries the actual
+argument as code:
+
+* the **analytic cap**: in steady saturation the average completion time is
+  proportional to the mean realised service cost, so the improvement is
+  bounded by the service-multiplier ratio.  The trust-aware multiplier is
+  at least 1 (TC ≥ 0), hence
+
+      ``improvement ≤ 1 − 1 / (1 + unaware_fraction)``
+
+  — with the printed 0.5 that is a hard ≈ 33 % ceiling *attained only at
+  TC ≡ 0*, and the realistic ceiling with a measured mean chosen TC is
+  lower still (:func:`improvement_cap`);
+* the **measured chosen TC** (:func:`measure_chosen_tc`): what trust cost
+  the aware scheduler actually pays under a spec, which plugs into the cap;
+* :func:`predicted_improvement` combines the two so the frozen
+  configuration's numbers can be sanity-checked against theory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.runner import run_single
+from repro.scheduling.policy import TRUST_WEIGHT, TrustPolicy
+from repro.sim.stats import RunningStats
+from repro.workloads.scenario import ScenarioSpec
+
+__all__ = [
+    "aware_multiplier",
+    "unaware_multiplier",
+    "improvement_cap",
+    "predicted_improvement",
+    "ChosenTcReport",
+    "measure_chosen_tc",
+]
+
+
+def aware_multiplier(mean_tc: float, tc_weight: float = TRUST_WEIGHT) -> float:
+    """Mean service multiplier paid by the trust-aware deployment."""
+    if mean_tc < 0:
+        raise ValueError("mean_tc must be non-negative")
+    return 1.0 + mean_tc * tc_weight / 100.0
+
+
+def unaware_multiplier(unaware_fraction: float) -> float:
+    """Service multiplier paid by the blanket-security deployment."""
+    if unaware_fraction < 0:
+        raise ValueError("unaware_fraction must be non-negative")
+    return 1.0 + unaware_fraction
+
+
+def improvement_cap(
+    unaware_fraction: float, mean_chosen_tc: float = 0.0, tc_weight: float = TRUST_WEIGHT
+) -> float:
+    """Upper bound on the saturation-regime improvement.
+
+    With mean chosen TC of 0 this is the absolute ceiling
+    ``1 − 1/(1 + fraction)``; with a realistic chosen TC it is the
+    service-ratio prediction.
+    """
+    return 1.0 - aware_multiplier(mean_chosen_tc, tc_weight) / unaware_multiplier(
+        unaware_fraction
+    )
+
+
+#: Alias: the cap *is* the first-order predicted improvement.
+predicted_improvement = improvement_cap
+
+
+@dataclass(frozen=True)
+class ChosenTcReport:
+    """Measured trust costs actually paid by a trust-aware scheduler.
+
+    Attributes:
+        heuristic: heuristic measured.
+        chosen: stats of the per-request TC at the chosen machines.
+        replications: scenarios sampled.
+    """
+
+    heuristic: str
+    chosen: RunningStats
+    replications: int
+
+    @property
+    def mean(self) -> float:
+        """Mean chosen trust cost."""
+        return self.chosen.mean
+
+
+def measure_chosen_tc(
+    spec: ScenarioSpec | None = None,
+    *,
+    heuristic: str = "mct",
+    replications: int = 10,
+    base_seed: int = 0,
+    batch_interval: float = 600.0,
+    unaware_fraction: float = 0.9,
+) -> ChosenTcReport:
+    """Measure the mean TC the trust-aware scheduler pays under ``spec``.
+
+    Runs trust-aware schedules over ``replications`` scenarios and folds
+    every realised assignment's TC into the report.
+    """
+    if replications < 1:
+        raise ValueError("replications must be >= 1")
+    spec = spec if spec is not None else ScenarioSpec(n_tasks=50, target_load=4.5)
+    stats = RunningStats()
+    policy = TrustPolicy.aware(unaware_fraction=unaware_fraction)
+    for i in range(replications):
+        result = run_single(
+            spec, heuristic, policy, base_seed + i, batch_interval=batch_interval
+        )
+        stats.extend(r.trust_cost for r in result.records)
+    return ChosenTcReport(
+        heuristic=heuristic, chosen=stats, replications=replications
+    )

@@ -1,0 +1,169 @@
+"""Collusion-resistance study for the recommender trust factor ``R``.
+
+Section 2.2 introduces ``R(z, y)`` exactly "to prevent cheating via
+collusions among a group of entities".  This module measures whether it
+works: a population of honest entities plus a colluding clique whose
+members (a) behave badly in real transactions but (b) report perfect trust
+about each other.  An observer estimates each entity's trustworthiness via
+the reputation component ``Ω`` and we compare the estimation error
+
+* with ``R`` active (alliance discount and/or outcome-learned recommender
+  accuracy), versus
+* without it (every recommendation at full weight — the paper's model with
+  ``R ≡ 1``).
+
+The clique inflates its members' reputations; ``R`` should pull the
+estimates back toward the truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.context import EXECUTION
+from repro.core.recommender import AllianceRegistry, RecommenderWeights
+from repro.core.reputation import Reputation
+from repro.core.tables import TrustTable
+from repro.errors import ConfigurationError
+
+__all__ = ["CollusionOutcome", "run_collusion_study"]
+
+
+@dataclass(frozen=True)
+class CollusionOutcome:
+    """Result of one collusion experiment.
+
+    Attributes:
+        clique_truth: ground-truth trustworthiness of clique members.
+        clique_estimate_defended: mean Ω estimate of clique members with R.
+        clique_estimate_undefended: mean Ω estimate with R ≡ 1.
+        honest_estimate_defended: mean Ω estimate of honest entities with R.
+        honest_truth: ground-truth trustworthiness of honest entities.
+    """
+
+    clique_truth: float
+    clique_estimate_defended: float
+    clique_estimate_undefended: float
+    honest_estimate_defended: float
+    honest_truth: float
+
+    @property
+    def inflation_undefended(self) -> float:
+        """Reputation inflation the clique achieves without R."""
+        return self.clique_estimate_undefended - self.clique_truth
+
+    @property
+    def inflation_defended(self) -> float:
+        """Residual inflation with R active."""
+        return self.clique_estimate_defended - self.clique_truth
+
+    @property
+    def defense_effectiveness(self) -> float:
+        """Fraction of the inflation removed by R (1 = fully removed)."""
+        if self.inflation_undefended <= 0:
+            return 1.0
+        return 1.0 - self.inflation_defended / self.inflation_undefended
+
+
+def run_collusion_study(
+    *,
+    n_honest: int = 8,
+    n_clique: int = 4,
+    honest_truth: float = 0.85,
+    clique_truth: float = 0.25,
+    transactions_per_pair: int = 6,
+    ally_weight: float = 0.2,
+    learn_accuracy: bool = True,
+    seed: int = 0,
+) -> CollusionOutcome:
+    """Run the collusion experiment and measure R's effectiveness.
+
+    Honest entities record their *experienced* satisfaction about everyone
+    they interact with; clique members record truthful values about honest
+    entities but report perfect trust (1.0) about each other.  The
+    observer then evaluates every entity's reputation.
+
+    Args:
+        n_honest / n_clique: population sizes (each >= 2).
+        honest_truth / clique_truth: ground-truth behaviour means.
+        transactions_per_pair: interactions folded into each table entry.
+        ally_weight: alliance discount used by the defended evaluator.
+        learn_accuracy: whether the defended evaluator also learns
+            recommender accuracy from observed outcomes.
+        seed: RNG seed.
+    """
+    if n_honest < 2 or n_clique < 2:
+        raise ConfigurationError("need at least two honest and two clique entities")
+    for label, v in (("honest_truth", honest_truth), ("clique_truth", clique_truth)):
+        if not 0.0 <= v <= 1.0:
+            raise ConfigurationError(f"{label} must lie in [0, 1]")
+
+    rng = np.random.default_rng(seed)
+    honest = [f"honest-{i}" for i in range(n_honest)]
+    clique = [f"clique-{i}" for i in range(n_clique)]
+    truth = {e: honest_truth for e in honest} | {e: clique_truth for e in clique}
+
+    table = TrustTable()
+    noise = 0.05
+
+    def observed(entity: str) -> float:
+        return float(np.clip(rng.normal(truth[entity], noise), 0.0, 1.0))
+
+    time = 0.0
+    for truster in honest + clique:
+        for trustee in honest + clique:
+            if truster == trustee:
+                continue
+            if truster in clique and trustee in clique:
+                value = 1.0  # the collusive lie
+            else:
+                samples = [observed(trustee) for _ in range(transactions_per_pair)]
+                value = float(np.mean(samples))
+            time += 1.0
+            table.record(
+                truster, trustee, EXECUTION, value, time,
+                transaction_count=transactions_per_pair,
+            )
+
+    observer = "observer"
+
+    alliances = AllianceRegistry()
+    alliances.declare("cartel", clique)
+    defended_weights = RecommenderWeights(alliances=alliances, ally_weight=ally_weight)
+    if learn_accuracy:
+        # The observer scores each recommender against its own direct
+        # samples of the targets — the paper's "learned based on actual
+        # outcomes".
+        for recommender in honest + clique:
+            for target in honest + clique:
+                if recommender == target:
+                    continue
+                rec = table.get(recommender, target, EXECUTION)
+                if rec is not None:
+                    defended_weights.observe_outcome(
+                        recommender, rec.value, observed(target)
+                    )
+
+    defended = Reputation(table=table, weights=defended_weights)
+    undefended = Reputation(table=table, weights=RecommenderWeights())
+    now = time + 1.0
+
+    def mean_estimate(evaluator: Reputation, entities) -> float:
+        return float(
+            np.mean(
+                [
+                    evaluator.evaluate(e, EXECUTION, now, asking=observer)
+                    for e in entities
+                ]
+            )
+        )
+
+    return CollusionOutcome(
+        clique_truth=clique_truth,
+        clique_estimate_defended=mean_estimate(defended, clique),
+        clique_estimate_undefended=mean_estimate(undefended, clique),
+        honest_estimate_defended=mean_estimate(defended, honest),
+        honest_truth=honest_truth,
+    )

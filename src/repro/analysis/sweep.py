@@ -1,0 +1,149 @@
+"""Parameter sweeps.
+
+A small generic sweep facility: vary one knob of the experiment (a scenario
+field, the batch interval, or a policy field), hold everything else at the
+frozen paper configuration, and collect the paired improvement per value.
+Used by the ablation benchmarks and the examples.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.experiments.config import (
+    PAPER_BATCH_INTERVAL,
+    paper_policies,
+    paper_spec,
+)
+from repro.experiments.runner import CellResult, run_paired_cell
+from repro.scheduling.policy import SecurityAccounting, TrustPolicy
+from repro.workloads.consistency import Consistency
+
+__all__ = ["SweepPoint", "sweep_scenario_field", "sweep_batch_interval", "sweep_policy"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One sweep sample.
+
+    Attributes:
+        value: the swept knob's value.
+        cell: the aggregated paired result at that value.
+    """
+
+    value: object
+    cell: CellResult
+
+    @property
+    def improvement(self) -> float:
+        """Mean paired improvement at this point."""
+        return self.cell.mean_improvement
+
+
+def sweep_scenario_field(
+    field_name: str,
+    values: Iterable[object],
+    *,
+    heuristic: str = "mct",
+    n_tasks: int = 50,
+    consistency: Consistency = Consistency.INCONSISTENT,
+    replications: int = 10,
+    base_seed: int = 0,
+    batch_interval: float = PAPER_BATCH_INTERVAL,
+) -> list[SweepPoint]:
+    """Sweep one :class:`~repro.workloads.scenario.ScenarioSpec` field."""
+    aware, unaware = paper_policies()
+    points: list[SweepPoint] = []
+    for value in values:
+        spec = paper_spec(n_tasks, consistency, **{field_name: value})
+        cell = run_paired_cell(
+            spec,
+            heuristic,
+            aware,
+            unaware,
+            replications=replications,
+            base_seed=base_seed,
+            batch_interval=batch_interval,
+        )
+        points.append(SweepPoint(value=value, cell=cell))
+    return points
+
+
+def sweep_batch_interval(
+    intervals: Sequence[float],
+    *,
+    heuristic: str = "min-min",
+    n_tasks: int = 50,
+    consistency: Consistency = Consistency.INCONSISTENT,
+    replications: int = 10,
+    base_seed: int = 0,
+) -> list[SweepPoint]:
+    """Sweep the meta-request formation period of a batch heuristic."""
+    aware, unaware = paper_policies()
+    points: list[SweepPoint] = []
+    for interval in intervals:
+        spec = paper_spec(n_tasks, consistency)
+        cell = run_paired_cell(
+            spec,
+            heuristic,
+            aware,
+            unaware,
+            replications=replications,
+            base_seed=base_seed,
+            batch_interval=interval,
+        )
+        points.append(SweepPoint(value=interval, cell=cell))
+    return points
+
+
+def sweep_policy(
+    *,
+    tc_weights: Sequence[float] = (),
+    unaware_fractions: Sequence[float] = (),
+    accountings: Sequence[SecurityAccounting] = (),
+    heuristic: str = "mct",
+    n_tasks: int = 50,
+    consistency: Consistency = Consistency.INCONSISTENT,
+    replications: int = 10,
+    base_seed: int = 0,
+    batch_interval: float = PAPER_BATCH_INTERVAL,
+) -> list[SweepPoint]:
+    """Sweep trust-policy knobs (TC weight, blanket fraction, accounting).
+
+    Exactly one of the three sequences must be non-empty.
+    """
+    provided = [
+        ("tc_weight", tc_weights),
+        ("unaware_fraction", unaware_fractions),
+        ("accounting", accountings),
+    ]
+    active = [(name, vals) for name, vals in provided if vals]
+    if len(active) != 1:
+        raise ValueError("sweep exactly one policy knob at a time")
+    name, values = active[0]
+
+    spec = paper_spec(n_tasks, consistency)
+    points: list[SweepPoint] = []
+    for value in values:
+        kwargs: dict[str, object] = {}
+        if name == "accounting":
+            kwargs["accounting"] = value
+        elif name == "unaware_fraction":
+            kwargs["unaware_fraction"] = value
+        aware = TrustPolicy(True, **kwargs)  # type: ignore[arg-type]
+        unaware = TrustPolicy(False, **kwargs)  # type: ignore[arg-type]
+        if name == "tc_weight":
+            aware = TrustPolicy(True, tc_weight=float(value))  # type: ignore[arg-type]
+            unaware = TrustPolicy(False, tc_weight=float(value))  # type: ignore[arg-type]
+        cell = run_paired_cell(
+            spec,
+            heuristic,
+            aware,
+            unaware,
+            replications=replications,
+            base_seed=base_seed,
+            batch_interval=batch_interval,
+        )
+        points.append(SweepPoint(value=value, cell=cell))
+    return points

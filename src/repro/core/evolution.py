@@ -1,0 +1,141 @@
+"""Outcome-driven trust evolution.
+
+The paper's conclusion lists "mechanisms for determining trust values from
+ongoing transactions" as future work; this module implements one concrete,
+well-behaved mechanism so the Fig. 1 agents have something to run:
+
+* every completed transaction between a truster and a trustee yields a
+  :class:`TransactionOutcome` with a *satisfaction* score in ``[0, 1]``
+  (1 = behaved exactly as expected);
+* the :class:`TrustEvolver` folds the score into the trust table with an
+  exponential moving average, so trust is "not a fixed value ... but rather
+  subject to the entity's behavior" (Section 2.1);
+* when the outcome was preceded by recommendations, the evolver also scores
+  those recommenders, implementing the paper's "R ... is learned based on
+  actual outcomes".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.context import TrustContext
+from repro.core.recommender import RecommenderWeights
+from repro.core.tables import EntityId, TrustRecord, TrustTable
+
+__all__ = ["TransactionOutcome", "TrustEvolver"]
+
+
+@dataclass(frozen=True, slots=True)
+class TransactionOutcome:
+    """Result of one completed transaction, as observed by ``truster``.
+
+    Attributes:
+        truster: the entity updating its opinion.
+        trustee: the entity whose behaviour was observed.
+        context: the trust context the transaction took place in.
+        satisfaction: observed behaviour quality in ``[0, 1]``.
+        time: completion time of the transaction.
+    """
+
+    truster: EntityId
+    trustee: EntityId
+    context: TrustContext
+    satisfaction: float
+    time: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.satisfaction <= 1.0:
+            raise ValueError(
+                f"satisfaction must lie in [0, 1], got {self.satisfaction}"
+            )
+        if self.truster == self.trustee:
+            raise ValueError("truster and trustee must differ")
+
+
+@dataclass
+class TrustEvolver:
+    """Evolves a :class:`~repro.core.tables.TrustTable` from outcomes.
+
+    Attributes:
+        table: the table being evolved (shared DTT/RTT).
+        weights: recommender weights updated when recommendations are scored.
+        smoothing: EMA factor; the new value is
+            ``(1 - smoothing) * old + smoothing * satisfaction``.  A first
+            outcome (no prior record) is taken at face value.
+        initial_value: value recorded for a first-ever outcome when blending
+            with a prior is desired; ``None`` (default) takes the first
+            satisfaction verbatim.
+    """
+
+    table: TrustTable
+    weights: RecommenderWeights = field(default_factory=RecommenderWeights)
+    smoothing: float = 0.3
+    initial_value: float | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.smoothing <= 1.0:
+            raise ValueError("smoothing must lie in (0, 1]")
+        if self.initial_value is not None and not 0.0 <= self.initial_value <= 1.0:
+            raise ValueError("initial_value must lie in [0, 1]")
+
+    def observe(self, outcome: TransactionOutcome) -> TrustRecord:
+        """Fold one outcome into the table and return the updated record.
+
+        Raises:
+            ValueError: if the outcome is older than the stored record
+                (outcomes must be applied in time order per pair).
+        """
+        prior = self.table.get(outcome.truster, outcome.trustee, outcome.context)
+        if prior is None:
+            if self.initial_value is None:
+                value = outcome.satisfaction
+            else:
+                value = (
+                    (1.0 - self.smoothing) * self.initial_value
+                    + self.smoothing * outcome.satisfaction
+                )
+            count = 1
+        else:
+            if outcome.time < prior.last_transaction:
+                raise ValueError(
+                    "outcomes must be observed in non-decreasing time order: "
+                    f"{outcome.time} < {prior.last_transaction}"
+                )
+            value = (
+                (1.0 - self.smoothing) * prior.value
+                + self.smoothing * outcome.satisfaction
+            )
+            count = prior.transaction_count + 1
+        return self.table.record(
+            outcome.truster,
+            outcome.trustee,
+            outcome.context,
+            value,
+            outcome.time,
+            transaction_count=count,
+        )
+
+    def score_recommendations(
+        self,
+        outcome: TransactionOutcome,
+        recommendations: dict[EntityId, float],
+    ) -> dict[EntityId, float]:
+        """Score recommenders against the realised outcome.
+
+        Args:
+            outcome: the realised transaction outcome.
+            recommendations: mapping recommender -> the trust value it had
+                reported for the trustee before the transaction.
+
+        Returns:
+            Mapping recommender -> its updated accuracy.
+        """
+        updated: dict[EntityId, float] = {}
+        for recommender, predicted in recommendations.items():
+            if recommender == outcome.truster:
+                continue
+            updated[recommender] = self.weights.observe_outcome(
+                recommender, predicted, outcome.satisfaction
+            )
+        return updated

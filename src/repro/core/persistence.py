@@ -1,0 +1,110 @@
+"""Persistence of Section-2 trust state.
+
+Long-running trust systems outlive any one process; this module
+round-trips the evolving internal state — the shared DTT/RTT
+:class:`~repro.core.tables.TrustTable` and the learned
+:class:`~repro.core.recommender.RecommenderWeights` accuracies — through
+plain JSON, so a Grid session can be checkpointed and resumed with its
+accumulated trust knowledge intact.
+
+Entity identifiers must be strings (the Grid agents' ``"cd:0"`` /
+``"rd:1"`` convention satisfies this); other hashables would not survive
+JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.context import TrustContext
+from repro.core.recommender import RecommenderWeights
+from repro.core.tables import TrustTable
+from repro.errors import TrustModelError
+
+__all__ = [
+    "trust_table_to_dict",
+    "trust_table_from_dict",
+    "save_trust_state",
+    "load_trust_state",
+]
+
+_FORMAT_VERSION = 1
+
+
+def trust_table_to_dict(table: TrustTable) -> dict[str, Any]:
+    """Serialise a trust table to a JSON-compatible dictionary.
+
+    Raises:
+        TrustModelError: if any entity identifier is not a string.
+    """
+    entries = []
+    for (truster, trustee, context), rec in table.items():
+        if not isinstance(truster, str) or not isinstance(trustee, str):
+            raise TrustModelError(
+                "only string entity identifiers can be persisted, got "
+                f"{truster!r} / {trustee!r}"
+            )
+        entries.append(
+            {
+                "truster": truster,
+                "trustee": trustee,
+                "context": context.name,
+                "value": rec.value,
+                "last_transaction": rec.last_transaction,
+                "transaction_count": rec.transaction_count,
+            }
+        )
+    return {"format_version": _FORMAT_VERSION, "entries": entries}
+
+
+def trust_table_from_dict(data: dict[str, Any]) -> TrustTable:
+    """Rebuild a trust table from :func:`trust_table_to_dict` output."""
+    version = data.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise TrustModelError(
+            f"unsupported trust-state format version {version!r}"
+        )
+    table = TrustTable()
+    for e in data["entries"]:
+        table.record(
+            e["truster"],
+            e["trustee"],
+            TrustContext(e["context"]),
+            float(e["value"]),
+            float(e["last_transaction"]),
+            transaction_count=int(e["transaction_count"]),
+        )
+    return table
+
+
+def save_trust_state(
+    path: str | Path,
+    table: TrustTable,
+    weights: RecommenderWeights | None = None,
+) -> Path:
+    """Write the trust table (and learned accuracies) to ``path`` as JSON."""
+    payload = trust_table_to_dict(table)
+    if weights is not None:
+        payload["recommender_accuracy"] = dict(weights._accuracy)
+    path = Path(path)
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    return path
+
+
+def load_trust_state(
+    path: str | Path,
+    weights: RecommenderWeights | None = None,
+) -> TrustTable:
+    """Read a trust state written by :func:`save_trust_state`.
+
+    When ``weights`` is given, its learned accuracies are restored in
+    place; returns the rebuilt table.
+    """
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    table = trust_table_from_dict(data)
+    if weights is not None:
+        for entity, accuracy in data.get("recommender_accuracy", {}).items():
+            weights._accuracy[entity] = float(accuracy)
+    return table

@@ -1,0 +1,167 @@
+"""Direct-trust and reputation-trust tables (DTT / RTT).
+
+Section 2.2 of the paper computes trust from two tables:
+
+* the **direct-trust table** ``DTT(x, y, c)`` — the trust level entity ``x``
+  itself holds about entity ``y`` in context ``c``; and
+* the **reputation-trust table** ``RTT(z, y, c)`` — the trust level a third
+  party ``z`` reports about ``y``.
+
+The paper notes that "in practical systems, entities will use the same
+information to evaluate direct relationships and give recommendations, i.e.,
+RTT and DTT will refer to the same table" — so this module provides a single
+:class:`TrustTable` that serves both roles.
+
+Entries carry continuous trust values in ``[0, 1]`` together with the time of
+the last supporting transaction ``t_xy``, which the engine needs for decay.
+Helpers convert between the continuous scale and the six discrete levels of
+:class:`~repro.core.levels.TrustLevel`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterator
+from dataclasses import dataclass, field
+
+from repro.core.context import TrustContext
+from repro.core.levels import TrustLevel
+from repro.errors import UnknownEntityError
+
+__all__ = ["TrustRecord", "TrustTable", "value_to_level", "level_to_value"]
+
+EntityId = Hashable
+
+
+def value_to_level(value: float) -> TrustLevel:
+    """Quantise a continuous trust value in ``[0, 1]`` to a discrete level.
+
+    The unit interval is split into six equal bins, ``[0, 1/6) -> A`` up to
+    ``[5/6, 1] -> F``.
+    """
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"trust value must lie in [0, 1], got {value}")
+    return TrustLevel(min(int(value * 6) + 1, int(TrustLevel.F)))
+
+
+def level_to_value(level: TrustLevel | int | str) -> float:
+    """Map a discrete level to the midpoint of its continuous bin."""
+    level = TrustLevel.from_value(level)
+    return (int(level) - 0.5) / 6.0
+
+
+@dataclass(slots=True)
+class TrustRecord:
+    """One (truster, trustee, context) entry of a trust table.
+
+    Attributes:
+        value: continuous trust value in ``[0, 1]``.
+        last_transaction: simulation time of the most recent supporting
+            transaction (the paper's ``t_xy``).
+        transaction_count: number of transactions folded into ``value``; the
+            update policies in :mod:`repro.core.update` use this to decide
+            when enough evidence has accumulated to publish a new level.
+    """
+
+    value: float
+    last_transaction: float
+    transaction_count: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.value <= 1.0:
+            raise ValueError(f"trust value must lie in [0, 1], got {self.value}")
+        if self.transaction_count < 0:
+            raise ValueError("transaction_count must be non-negative")
+
+    @property
+    def level(self) -> TrustLevel:
+        """The discrete trust level this record quantises to."""
+        return value_to_level(self.value)
+
+
+class TrustTable:
+    """Mutable mapping ``(truster, trustee, context) -> TrustRecord``.
+
+    Serves as both DTT and RTT (see module docstring).  Iteration order is
+    insertion order, which keeps replays deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._records: dict[tuple[EntityId, EntityId, TrustContext], TrustRecord] = {}
+        self._entities: set[EntityId] = set()
+
+    # -- mutation ---------------------------------------------------------
+
+    def record(
+        self,
+        truster: EntityId,
+        trustee: EntityId,
+        context: TrustContext,
+        value: float,
+        time: float,
+        *,
+        transaction_count: int = 1,
+    ) -> TrustRecord:
+        """Insert or overwrite the entry for ``(truster, trustee, context)``.
+
+        Returns the stored :class:`TrustRecord`.
+        """
+        if truster == trustee:
+            raise ValueError("an entity cannot hold a trust record about itself")
+        rec = TrustRecord(value=value, last_transaction=time, transaction_count=transaction_count)
+        self._records[(truster, trustee, context)] = rec
+        self._entities.add(truster)
+        self._entities.add(trustee)
+        return rec
+
+    def remove(self, truster: EntityId, trustee: EntityId, context: TrustContext) -> None:
+        """Delete an entry; raises :class:`KeyError` if it does not exist."""
+        del self._records[(truster, trustee, context)]
+
+    # -- queries ----------------------------------------------------------
+
+    def get(
+        self, truster: EntityId, trustee: EntityId, context: TrustContext
+    ) -> TrustRecord | None:
+        """Return the record, or ``None`` when the pair has no history."""
+        return self._records.get((truster, trustee, context))
+
+    def require(
+        self, truster: EntityId, trustee: EntityId, context: TrustContext
+    ) -> TrustRecord:
+        """Return the record, raising :class:`UnknownEntityError` if absent."""
+        rec = self.get(truster, trustee, context)
+        if rec is None:
+            raise UnknownEntityError(
+                f"no trust record for truster={truster!r} trustee={trustee!r} "
+                f"context={context.name!r}"
+            )
+        return rec
+
+    def recommenders(
+        self, trustee: EntityId, context: TrustContext, *, excluding: EntityId
+    ) -> Iterator[tuple[EntityId, TrustRecord]]:
+        """Iterate ``(z, record)`` for every third party ``z != excluding``
+        that holds an opinion about ``trustee`` in ``context``.
+
+        This is exactly the set the reputation sum of Section 2.2 ranges over.
+        """
+        for (truster, target, ctx), rec in self._records.items():
+            if target == trustee and ctx == context and truster != excluding:
+                yield truster, rec
+
+    def entities(self) -> frozenset[EntityId]:
+        """All entities that appear in the table (as truster or trustee)."""
+        return frozenset(self._entities)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, key: tuple[EntityId, EntityId, TrustContext]) -> bool:
+        return key in self._records
+
+    def __iter__(self) -> Iterator[tuple[EntityId, EntityId, TrustContext]]:
+        return iter(self._records)
+
+    def items(self) -> Iterator[tuple[tuple[EntityId, EntityId, TrustContext], TrustRecord]]:
+        """Iterate ``((truster, trustee, context), record)`` pairs."""
+        return iter(self._records.items())

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single ``except`` clause
+while still being able to discriminate finer-grained failure modes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "TrustModelError",
+    "UnknownEntityError",
+    "SchedulingError",
+    "NoFeasibleMachineError",
+    "SimulationError",
+    "EventOrderError",
+    "WorkloadError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A user-supplied configuration value is invalid or inconsistent."""
+
+
+class TrustModelError(ReproError):
+    """A trust-model operation could not be carried out."""
+
+
+class UnknownEntityError(TrustModelError, KeyError):
+    """A trust query referenced an entity that is not registered."""
+
+
+class SchedulingError(ReproError):
+    """A scheduling operation failed."""
+
+
+class NoFeasibleMachineError(SchedulingError):
+    """No machine can execute the request (e.g. empty machine set)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an invalid state."""
+
+
+class EventOrderError(SimulationError):
+    """An event was scheduled in the past of the simulation clock."""
+
+
+class WorkloadError(ReproError, ValueError):
+    """A workload specification or generated matrix is invalid."""

@@ -1,0 +1,168 @@
+"""Disk cache for experiment cells.
+
+Regenerating all the scheduling tables at full replication counts costs
+seconds per table; reports, notebooks and CI runs repeat the same cells
+constantly.  :class:`CellCache` memoizes :class:`CellResult`s on disk keyed
+by a content hash of *everything that determines the result* — the
+scenario spec, heuristic, both policies, replication count, base seed and
+batch interval — so a cache hit is guaranteed to be bit-identical to a
+recomputation (results are deterministic functions of the key).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.experiments.runner import CellResult, run_paired_cell
+from repro.scheduling.policy import TrustPolicy
+from repro.sim.stats import RunningStats
+from repro.workloads.scenario import ScenarioSpec
+from repro.workloads.serialization import _spec_to_dict
+
+__all__ = ["CellCache", "cell_key"]
+
+
+def _policy_to_dict(policy: TrustPolicy) -> dict[str, Any]:
+    model = policy.aware_model
+    return {
+        "trust_aware": policy.trust_aware,
+        "accounting": policy.accounting.value,
+        "tc_weight": policy.tc_weight,
+        "unaware_fraction": policy.unaware_fraction,
+        "esc_model": f"{type(model).__name__}:{getattr(model, 'table', getattr(model, 'weight', ''))}",
+    }
+
+
+def cell_key(
+    spec: ScenarioSpec,
+    heuristic: str,
+    aware: TrustPolicy,
+    unaware: TrustPolicy,
+    replications: int,
+    base_seed: int,
+    batch_interval: float | None,
+) -> str:
+    """Content hash identifying one cell computation."""
+    payload = {
+        "spec": _spec_to_dict(spec),
+        "heuristic": heuristic,
+        "aware": _policy_to_dict(aware),
+        "unaware": _policy_to_dict(unaware),
+        "replications": replications,
+        "base_seed": base_seed,
+        "batch_interval": batch_interval,
+    }
+    blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()[:24]
+
+
+def _stats_to_dict(stats: RunningStats) -> dict[str, Any]:
+    return {
+        "count": stats.count,
+        "mean": stats.mean,
+        "m2": stats._m2,
+        "minimum": stats.minimum,
+        "maximum": stats.maximum,
+    }
+
+
+def _stats_from_dict(data: dict[str, Any]) -> RunningStats:
+    stats = RunningStats()
+    stats.count = int(data["count"])
+    stats.mean = float(data["mean"])
+    stats._m2 = float(data["m2"])
+    stats.minimum = float(data["minimum"])
+    stats.maximum = float(data["maximum"])
+    return stats
+
+
+_STAT_FIELDS = (
+    "aware_completion",
+    "unaware_completion",
+    "aware_utilization",
+    "unaware_utilization",
+    "improvement",
+)
+
+
+@dataclass
+class CellCache:
+    """Directory-backed cache of :class:`CellResult` objects.
+
+    Attributes:
+        directory: where the ``<key>.json`` entries live (created lazily).
+    """
+
+    directory: Path
+
+    def __post_init__(self) -> None:
+        self.directory = Path(self.directory)
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> CellResult | None:
+        """Return the cached cell, or ``None`` on a miss or stale format."""
+        path = self._path(key)
+        if not path.exists():
+            return None
+        data = json.loads(path.read_text(encoding="utf-8"))
+        try:
+            return CellResult(
+                heuristic=data["heuristic"],
+                n_tasks=int(data["n_tasks"]),
+                replications=int(data["replications"]),
+                aware_samples=tuple(data["aware_samples"]),
+                unaware_samples=tuple(data["unaware_samples"]),
+                **{f: _stats_from_dict(data[f]) for f in _STAT_FIELDS},
+            )
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def put(self, key: str, cell: CellResult) -> None:
+        """Store a cell under ``key``."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        data: dict[str, Any] = {
+            "heuristic": cell.heuristic,
+            "n_tasks": cell.n_tasks,
+            "replications": cell.replications,
+            "aware_samples": list(cell.aware_samples),
+            "unaware_samples": list(cell.unaware_samples),
+        }
+        for f in _STAT_FIELDS:
+            data[f] = _stats_to_dict(getattr(cell, f))
+        self._path(key).write_text(json.dumps(data), encoding="utf-8")
+
+    def run_paired_cell(
+        self,
+        spec: ScenarioSpec,
+        heuristic: str,
+        aware: TrustPolicy,
+        unaware: TrustPolicy,
+        *,
+        replications: int,
+        base_seed: int = 0,
+        batch_interval: float | None = None,
+    ) -> CellResult:
+        """Cached drop-in for :func:`~repro.experiments.runner.run_paired_cell`."""
+        key = cell_key(
+            spec, heuristic, aware, unaware, replications, base_seed, batch_interval
+        )
+        cached = self.get(key)
+        if cached is not None:
+            return cached
+        cell = run_paired_cell(
+            spec,
+            heuristic,
+            aware,
+            unaware,
+            replications=replications,
+            base_seed=base_seed,
+            batch_interval=batch_interval,
+        )
+        self.put(key, cell)
+        return cell

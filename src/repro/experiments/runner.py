@@ -1,0 +1,157 @@
+"""Experiment runner: paired trust-aware/unaware runs over replications.
+
+Every cell of Tables 4–9 is the average of many stochastic simulations.
+:func:`run_paired_cell` materialises one scenario per seed, runs the *same*
+workload under both policies (the pairing is what makes the improvement
+column meaningful), and aggregates means and confidence intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.metrics.improvement import PairedComparison
+from repro.scheduling.base import BatchHeuristic
+from repro.scheduling.policy import TrustPolicy
+from repro.scheduling.registry import make_heuristic
+from repro.scheduling.scheduler import TRMScheduler
+from repro.sim.stats import RunningStats
+from repro.workloads.scenario import ScenarioSpec, materialize
+
+__all__ = ["CellResult", "run_paired_cell", "run_single"]
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Aggregated statistics of one table cell (one spec, one heuristic).
+
+    Attributes:
+        heuristic: registry name of the heuristic.
+        n_tasks: task count of the cell.
+        replications: number of paired runs aggregated.
+        aware_completion / unaware_completion: average-completion stats.
+        aware_utilization / unaware_utilization: utilisation stats.
+        improvement: per-replication improvement-fraction stats.
+        aware_samples / unaware_samples: per-replication average completion
+            times, in seed order — the paired series significance tests
+            operate on.
+    """
+
+    heuristic: str
+    n_tasks: int
+    replications: int
+    aware_completion: RunningStats
+    unaware_completion: RunningStats
+    aware_utilization: RunningStats
+    unaware_utilization: RunningStats
+    improvement: RunningStats
+    aware_samples: tuple[float, ...] = ()
+    unaware_samples: tuple[float, ...] = ()
+
+    @property
+    def mean_improvement(self) -> float:
+        """Mean of the per-replication improvements."""
+        return self.improvement.mean
+
+    def significance(self):
+        """Paired t-test of unaware vs aware completion times.
+
+        Returns a :class:`~repro.analysis.significance.PairedTestResult`;
+        a positive mean difference means the trust-aware runs are faster.
+        """
+        from repro.analysis.significance import paired_t_test
+
+        return paired_t_test(self.unaware_samples, self.aware_samples)
+
+
+def run_single(
+    spec: ScenarioSpec,
+    heuristic_name: str,
+    policy: TrustPolicy,
+    seed: int,
+    *,
+    batch_interval: float | None = None,
+):
+    """Run one scenario under one policy; returns the ScheduleResult."""
+    scenario = materialize(spec, seed=seed)
+    heuristic = make_heuristic(heuristic_name)
+    interval = batch_interval if isinstance(heuristic, BatchHeuristic) else None
+    scheduler = TRMScheduler(
+        scenario.grid,
+        scenario.eec,
+        policy,
+        heuristic,
+        batch_interval=interval,
+    )
+    return scheduler.run(scenario.requests)
+
+
+def run_paired_cell(
+    spec: ScenarioSpec,
+    heuristic_name: str,
+    aware: TrustPolicy,
+    unaware: TrustPolicy,
+    *,
+    replications: int,
+    base_seed: int = 0,
+    batch_interval: float | None = None,
+) -> CellResult:
+    """Run ``replications`` paired simulations and aggregate the cell.
+
+    The two policies must genuinely differ in awareness; each replication
+    uses seed ``base_seed + i`` so the aware and unaware runs of a
+    replication see the identical scenario.
+    """
+    if replications < 1:
+        raise ConfigurationError("replications must be >= 1")
+    if not aware.trust_aware or unaware.trust_aware:
+        raise ConfigurationError(
+            "expected (trust-aware, trust-unaware) policy pair"
+        )
+
+    stats = {
+        name: RunningStats()
+        for name in (
+            "aware_completion",
+            "unaware_completion",
+            "aware_utilization",
+            "unaware_utilization",
+            "improvement",
+        )
+    }
+    aware_samples: list[float] = []
+    unaware_samples: list[float] = []
+    for i in range(replications):
+        seed = base_seed + i
+        scenario = materialize(spec, seed=seed)
+        results = {}
+        for label, policy in (("aware", aware), ("unaware", unaware)):
+            heuristic = make_heuristic(heuristic_name)
+            interval = (
+                batch_interval if isinstance(heuristic, BatchHeuristic) else None
+            )
+            results[label] = TRMScheduler(
+                scenario.grid,
+                scenario.eec,
+                policy,
+                heuristic,
+                batch_interval=interval,
+            ).run(scenario.requests)
+        pair = PairedComparison(aware=results["aware"], unaware=results["unaware"])
+        stats["aware_completion"].add(results["aware"].average_completion_time)
+        stats["unaware_completion"].add(results["unaware"].average_completion_time)
+        stats["aware_utilization"].add(results["aware"].machine_utilization)
+        stats["unaware_utilization"].add(results["unaware"].machine_utilization)
+        stats["improvement"].add(pair.completion_improvement)
+        aware_samples.append(results["aware"].average_completion_time)
+        unaware_samples.append(results["unaware"].average_completion_time)
+
+    return CellResult(
+        heuristic=heuristic_name,
+        n_tasks=spec.n_tasks,
+        replications=replications,
+        aware_samples=tuple(aware_samples),
+        unaware_samples=tuple(unaware_samples),
+        **stats,
+    )

@@ -1,0 +1,179 @@
+"""Figure-style data series and terminal plotting.
+
+The paper publishes only tables; for analysis the harness also produces
+*series* — improvement as a function of a swept knob, with confidence
+bands — and renders them as dependency-free ASCII charts (the library has
+no plotting dependency by design; the raw points are returned for external
+plotting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+# NOTE: repro.analysis.sweep is imported lazily inside the generators —
+# analysis builds on experiments, so a module-level import here would close
+# an import cycle through the two packages' __init__ modules.
+
+__all__ = [
+    "SeriesPoint",
+    "Series",
+    "improvement_vs_load",
+    "improvement_vs_machines",
+    "improvement_vs_batch_interval",
+    "ascii_chart",
+]
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    """One (x, y) sample with an optional confidence half-width.
+
+    Attributes:
+        x: the swept knob's value.
+        y: mean improvement at that value.
+        ci: half-width of the 95 % CI around ``y`` (0 when unknown).
+    """
+
+    x: float
+    y: float
+    ci: float = 0.0
+
+
+@dataclass(frozen=True)
+class Series:
+    """A named sequence of samples.
+
+    Attributes:
+        label: what is swept, e.g. ``"improvement vs offered load (mct)"``.
+        points: samples in ascending ``x``.
+    """
+
+    label: str
+    points: tuple[SeriesPoint, ...]
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise ConfigurationError("a series needs at least one point")
+        xs = [p.x for p in self.points]
+        if xs != sorted(xs):
+            raise ConfigurationError("series points must be in ascending x order")
+
+    @property
+    def xs(self) -> list[float]:
+        """The x coordinates."""
+        return [p.x for p in self.points]
+
+    @property
+    def ys(self) -> list[float]:
+        """The y coordinates."""
+        return [p.y for p in self.points]
+
+
+def _from_sweep(label: str, points) -> Series:
+    out = []
+    for p in points:
+        lo, hi = p.cell.improvement.confidence_interval()
+        out.append(
+            SeriesPoint(x=float(p.value), y=p.improvement, ci=(hi - lo) / 2.0)
+        )
+    out.sort(key=lambda s: s.x)
+    return Series(label=label, points=tuple(out))
+
+
+def improvement_vs_load(
+    loads=(0.5, 1.0, 2.0, 4.0, 8.0),
+    *,
+    heuristic: str = "mct",
+    replications: int = 8,
+    base_seed: int = 0,
+) -> Series:
+    """Trust improvement as a function of the offered-load multiple."""
+    from repro.analysis.sweep import sweep_scenario_field
+
+    points = sweep_scenario_field(
+        "target_load",
+        loads,
+        heuristic=heuristic,
+        replications=replications,
+        base_seed=base_seed,
+    )
+    return _from_sweep(f"improvement vs offered load ({heuristic})", points)
+
+
+def improvement_vs_machines(
+    machine_counts=(2, 5, 10, 20),
+    *,
+    heuristic: str = "mct",
+    replications: int = 8,
+    base_seed: int = 0,
+) -> Series:
+    """Trust improvement as a function of the machine count."""
+    from repro.analysis.sweep import sweep_scenario_field
+
+    points = sweep_scenario_field(
+        "n_machines",
+        machine_counts,
+        heuristic=heuristic,
+        replications=replications,
+        base_seed=base_seed,
+    )
+    return _from_sweep(f"improvement vs machines ({heuristic})", points)
+
+
+def improvement_vs_batch_interval(
+    intervals=(100.0, 300.0, 600.0, 1200.0),
+    *,
+    heuristic: str = "min-min",
+    replications: int = 8,
+    base_seed: int = 0,
+) -> Series:
+    """Trust improvement as a function of the meta-request period."""
+    from repro.analysis.sweep import sweep_batch_interval
+
+    points = sweep_batch_interval(
+        intervals, heuristic=heuristic, replications=replications, base_seed=base_seed
+    )
+    return _from_sweep(f"improvement vs batch interval ({heuristic})", points)
+
+
+def ascii_chart(series: Series, *, width: int = 60, height: int = 14) -> str:
+    """Render a series as a dependency-free ASCII chart.
+
+    ``*`` marks samples, ``·`` the confidence band bounds; axes are
+    annotated with the data ranges.
+    """
+    if width < 10 or height < 4:
+        raise ConfigurationError("chart needs width >= 10 and height >= 4")
+    xs, ys = series.xs, series.ys
+    y_lo = min(p.y - p.ci for p in series.points)
+    y_hi = max(p.y + p.ci for p in series.points)
+    if y_hi == y_lo:
+        y_hi = y_lo + 1e-9
+    x_lo, x_hi = min(xs), max(xs)
+    x_span = (x_hi - x_lo) or 1e-9
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(x: float, y: float, mark: str) -> None:
+        col = int(round((x - x_lo) / x_span * (width - 1)))
+        row = int(round((y_hi - y) / (y_hi - y_lo) * (height - 1)))
+        row = min(max(row, 0), height - 1)
+        if grid[row][col] == " " or mark == "*":
+            grid[row][col] = mark
+
+    for p in series.points:
+        if p.ci > 0:
+            place(p.x, p.y + p.ci, "·")
+            place(p.x, p.y - p.ci, "·")
+        place(p.x, p.y, "*")
+
+    lines = [series.label]
+    for i, row in enumerate(grid):
+        y_label = y_hi - i * (y_hi - y_lo) / (height - 1)
+        lines.append(f"{y_label:7.1%} |" + "".join(row))
+    lines.append(" " * 8 + "+" + "-" * width)
+    lines.append(f"{'':8}{x_lo:<10.3g}{'':^{max(width - 20, 0)}}{x_hi:>10.3g}")
+    return "\n".join(lines)

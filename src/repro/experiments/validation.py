@@ -1,0 +1,150 @@
+"""Codified acceptance criteria for the reproduction.
+
+DESIGN.md §4 lists the shape properties the reproduction must satisfy; this
+module turns them into executable checks over regenerated results, so
+"does the reproduction still hold?" is one function call
+(:func:`validate_reproduction`) rather than a manual reading of tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.config import SCHEDULING_TABLES
+from repro.experiments.tables import (
+    reproduce_scheduling_table,
+    reproduce_sfi_overheads,
+    reproduce_table2,
+    reproduce_table3,
+)
+
+__all__ = ["CheckResult", "validate_reproduction"]
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """One acceptance check.
+
+    Attributes:
+        name: short identifier of the property checked.
+        passed: whether it held.
+        detail: human-readable evidence.
+    """
+
+    name: str
+    passed: bool
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        status = "PASS" if self.passed else "FAIL"
+        return f"[{status}] {self.name}: {self.detail}"
+
+
+def validate_reproduction(
+    *, replications: int = 10, base_seed: int = 0
+) -> list[CheckResult]:
+    """Run every acceptance check; returns one result per property.
+
+    Checks (from DESIGN.md §4):
+
+    1. trust-aware beats trust-unaware in every scheduling cell;
+    2. Min-min shows the smallest relative gain of the three heuristics;
+    3. MCT utilisation is high (>85 %);
+    4. the scp overhead is large and grows with network speed;
+    5. the SFI ordering hotlist ≫ log-disk > MD5 and SASI ≥ MiSFIT.
+    """
+    checks: list[CheckResult] = []
+
+    cells: dict[int, dict] = {}
+    for number in sorted(SCHEDULING_TABLES):
+        repro = reproduce_scheduling_table(
+            number, replications=replications, base_seed=base_seed
+        )
+        cells[number] = repro.data["cells"]
+
+    # 1. aware wins everywhere.
+    losing = [
+        (number, n_tasks)
+        for number, table_cells in cells.items()
+        for n_tasks, cell in table_cells.items()
+        if cell.aware_completion.mean >= cell.unaware_completion.mean
+    ]
+    checks.append(
+        CheckResult(
+            "trust-aware-wins",
+            not losing,
+            "every cell" if not losing else f"losing cells: {losing}",
+        )
+    )
+
+    # 2. Min-min gains least (per consistency class, averaged over counts).
+    def mean_improvement(number: int) -> float:
+        table_cells = cells[number]
+        return sum(c.mean_improvement for c in table_cells.values()) / len(table_cells)
+
+    orderings_ok = True
+    details = []
+    for mct_t, minmin_t, suff_t in ((4, 6, 8), (5, 7, 9)):
+        mct, minmin, suff = (
+            mean_improvement(mct_t),
+            mean_improvement(minmin_t),
+            mean_improvement(suff_t),
+        )
+        details.append(
+            f"T{mct_t}/{minmin_t}/{suff_t}: mct={mct:.1%} minmin={minmin:.1%} "
+            f"suff={suff:.1%}"
+        )
+        if not (minmin <= suff <= mct):
+            orderings_ok = False
+    checks.append(
+        CheckResult("minmin-gains-least", orderings_ok, "; ".join(details))
+    )
+
+    # 3. MCT utilisation band.
+    mct_utils = [
+        cell.unaware_utilization.mean
+        for number in (4, 5)
+        for cell in cells[number].values()
+    ]
+    checks.append(
+        CheckResult(
+            "mct-high-utilization",
+            min(mct_utils) > 0.85,
+            f"min MCT utilisation {min(mct_utils):.1%}",
+        )
+    )
+
+    # 4. transfer overhead large, grows with network speed.
+    t2 = reproduce_table2().data["rows"]
+    t3 = reproduce_table3().data["rows"]
+    grows = all(t3[s]["overhead"] > t2[s]["overhead"] for s in (100, 500, 1000))
+    large = t2[1000]["overhead"] > 0.25
+    checks.append(
+        CheckResult(
+            "scp-overhead-negates-fast-network",
+            grows and large,
+            f"100Mbps@1GB={t2[1000]['overhead']:.1%}, "
+            f"1000Mbps@1GB={t3[1000]['overhead']:.1%}",
+        )
+    )
+
+    # 5. SFI ordering.
+    sfi = reproduce_sfi_overheads().data["rows"]
+    hot, lld, md5 = (
+        sfi["page-eviction hotlist"],
+        sfi["logical log-structured disk"],
+        sfi["MD5"],
+    )
+    ordering = (
+        hot["misfit"] > lld["misfit"] > md5["misfit"]
+        and all(sfi[k]["sasi"] >= sfi[k]["misfit"] for k in sfi)
+    )
+    checks.append(
+        CheckResult(
+            "sfi-ordering",
+            ordering,
+            f"misfit: hotlist={hot['misfit']:.0%} lld={lld['misfit']:.0%} "
+            f"md5={md5['misfit']:.0%}",
+        )
+    )
+    return checks

@@ -1,0 +1,93 @@
+"""Machines — the schedulable resources inside resource domains.
+
+The mapping heuristics of Section 4 operate at machine granularity: a
+request is assigned to one machine, tasks are indivisible and run
+non-preemptively.  The machine's trust attributes are inherited from its
+resource domain ("the resources and clients within a GD inherit the
+parameters associated with the RD and CD", Section 3.1), so the machine
+object itself only carries identity, membership, and the bookkeeping the
+scheduler needs (available time ``α_i`` and busy-time accounting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.grid.domain import ResourceDomain
+
+__all__ = ["Machine", "MachineState"]
+
+
+@dataclass(frozen=True, slots=True)
+class Machine:
+    """One schedulable machine.
+
+    Attributes:
+        index: dense machine index (column of EEC matrices).
+        resource_domain: the RD this machine belongs to; all trust
+            attributes are inherited from it.
+        name: optional readable name; defaults derived from the RD.
+    """
+
+    index: int
+    resource_domain: ResourceDomain
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError("machine index must be non-negative")
+        if not self.name:
+            object.__setattr__(
+                self, "name", f"{self.resource_domain.name}/m{self.index}"
+            )
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+@dataclass(slots=True)
+class MachineState:
+    """Mutable scheduler-side state for one machine.
+
+    Attributes:
+        machine: the machine this state tracks.
+        available_time: the paper's ``α_i`` — the time at which the machine
+            finishes everything currently assigned to it.
+        busy_time: total time spent executing assigned work (for the
+            utilisation metric of Tables 4–9).
+        assigned_count: number of requests assigned so far.
+    """
+
+    machine: Machine
+    available_time: float = 0.0
+    busy_time: float = 0.0
+    assigned_count: int = 0
+
+    def assign(self, start: float, cost: float) -> float:
+        """Book ``cost`` units of work beginning no earlier than ``start``.
+
+        The task begins at ``max(available_time, start)`` (a machine cannot
+        run a task before it arrives) and runs non-preemptively.
+
+        Returns:
+            The completion time of the newly assigned work.
+
+        Raises:
+            ValueError: if ``cost`` is negative.
+        """
+        if cost < 0:
+            raise ValueError(f"cost must be non-negative, got {cost}")
+        begin = max(self.available_time, start)
+        self.available_time = begin + cost
+        self.busy_time += cost
+        self.assigned_count += 1
+        return self.available_time
+
+    def utilization(self, horizon: float) -> float:
+        """Fraction of ``[0, horizon]`` this machine spent busy.
+
+        Returns 0 for a zero/negative horizon (nothing has happened yet).
+        """
+        if horizon <= 0:
+            return 0.0
+        return min(self.busy_time / horizon, 1.0)

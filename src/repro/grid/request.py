@@ -1,0 +1,110 @@
+"""Tasks, requests and meta-requests.
+
+Section 4.1's notation: a client presents a *request* ``r_i`` for the
+execution of a *task* ``t(r_i)`` originated by client ``c(r_i)``.  Tasks are
+indivisible and mapped non-preemptively.  Batch-mode heuristics collect the
+requests arriving during a predefined interval into a *meta-request*
+``R_j`` and map the whole batch at once.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+
+from repro.grid.activities import ActivitySet
+from repro.grid.client import Client
+
+__all__ = ["Task", "Request", "MetaRequest"]
+
+
+@dataclass(frozen=True)
+class Task:
+    """An indivisible unit of work.
+
+    Attributes:
+        index: dense task index (row of EEC matrices).
+        activities: the ToAs the task engages in at the hosting resource;
+            the request's OTL is the minimum offered level over these.
+    """
+
+    index: int
+    activities: ActivitySet
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError("task index must be non-negative")
+
+
+@dataclass(frozen=True)
+class Request:
+    """A client's request to execute one task (the paper's ``r_i``).
+
+    Attributes:
+        index: dense request index.
+        client: originating client, ``c(r_i)``.
+        task: the task to execute, ``t(r_i)``.
+        arrival_time: simulation time the request entered the RMS.
+    """
+
+    index: int
+    client: Client
+    task: Task
+    arrival_time: float
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError("request index must be non-negative")
+        if self.arrival_time < 0:
+            raise ValueError("arrival time must be non-negative")
+
+    @property
+    def client_domain_index(self) -> int:
+        """Index of the originating client domain (row in trust tables)."""
+        return self.client.client_domain.index
+
+
+@dataclass(frozen=True)
+class MetaRequest:
+    """A batch of requests mapped together (the paper's ``R_j``).
+
+    Attributes:
+        index: dense meta-request index.
+        requests: the member requests, in arrival order.
+        formed_at: the time the batch was closed and handed to the mapper.
+    """
+
+    index: int
+    requests: tuple[Request, ...]
+    formed_at: float
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError("meta-request index must be non-negative")
+        if self.formed_at < 0:
+            raise ValueError("formed_at must be non-negative")
+        late = [r for r in self.requests if r.arrival_time > self.formed_at]
+        if late:
+            raise ValueError(
+                f"{len(late)} request(s) arrive after the batch formed at "
+                f"{self.formed_at}"
+            )
+
+    @classmethod
+    def of(
+        cls, requests: Sequence[Request], formed_at: float, index: int = 0
+    ) -> "MetaRequest":
+        """Build a meta-request from any request sequence."""
+        ordered = tuple(sorted(requests, key=lambda r: (r.arrival_time, r.index)))
+        return cls(index=index, requests=ordered, formed_at=formed_at)
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self) -> Iterator[Request]:
+        return iter(self.requests)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the batch window saw no arrivals."""
+        return not self.requests

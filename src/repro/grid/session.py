@@ -1,0 +1,241 @@
+"""GridSession — the closed Figure-1 loop as a library facade.
+
+The paper's architecture (Figure 1) is a *loop*: the scheduler allocates
+using the trust-level table, transactions execute, the domain agents
+observe the outcomes and update the table, and the next allocations see the
+updated trust.  :class:`GridSession` packages that loop:
+
+* each **round** generates a fresh workload (EEC matrix + Poisson request
+  stream) against the session's Grid and schedules it with the configured
+  policy and heuristic;
+* every completion is scored against a ground-truth
+  :class:`~repro.grid.behavior.BehaviorModel` and fed to the client-domain
+  agents (optionally the resource-domain agents score clients too);
+* agents evolve their internal Section-2 records and publish new levels
+  into the shared trust-level table under the configured significance
+  policy;
+* the session clock advances across rounds, so decay and time-varying
+  behaviour (degrading / flipping domains) are exercised for real.
+
+This implements the "trust management architecture that can evolve and
+maintain the trust values" that Section 2.2 announces as parallel work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.grid.agents import AgentFleet
+from repro.grid.behavior import BehaviorModel
+from repro.grid.topology import Grid
+from repro.scheduling.base import BatchHeuristic
+from repro.scheduling.constraints import TrustConstraint
+from repro.scheduling.policy import TrustPolicy
+from repro.scheduling.registry import make_heuristic
+from repro.scheduling.result import CompletionRecord, ScheduleResult
+from repro.scheduling.scheduler import TRMScheduler
+from repro.sim.arrivals import PoissonProcess
+from repro.sim.rng import RngFactory
+from repro.workloads.eec import range_based_matrix
+from repro.workloads.heterogeneity import LOLO, Heterogeneity
+from repro.workloads.requests import generate_request_stream
+
+__all__ = ["RoundResult", "SessionResult", "GridSession"]
+
+
+@dataclass(frozen=True)
+class RoundResult:
+    """Outcome of one session round.
+
+    Attributes:
+        index: round number (0-based).
+        schedule: the round's schedule result.
+        mean_trust_cost: mean TC of the round's realised assignments.
+        published_updates: trust-table updates triggered by this round.
+        table_levels: snapshot of the trust-level table after the round.
+    """
+
+    index: int
+    schedule: ScheduleResult
+    mean_trust_cost: float
+    published_updates: int
+    table_levels: np.ndarray
+
+
+@dataclass(frozen=True)
+class SessionResult:
+    """All rounds of a session run.
+
+    Attributes:
+        rounds: per-round results in order.
+    """
+
+    rounds: tuple[RoundResult, ...]
+
+    @property
+    def completion_series(self) -> list[float]:
+        """Average completion time per round (absolute session clock)."""
+        return [r.schedule.average_completion_time for r in self.rounds]
+
+    @property
+    def flow_series(self) -> list[float]:
+        """Average flow time per round — comparable across rounds, since
+        the session clock keeps advancing."""
+        return [r.schedule.average_flow_time for r in self.rounds]
+
+    @property
+    def trust_cost_series(self) -> list[float]:
+        """Mean realised trust cost per round."""
+        return [r.mean_trust_cost for r in self.rounds]
+
+    @property
+    def total_published(self) -> int:
+        """Total trust-table updates over the whole session."""
+        return sum(r.published_updates for r in self.rounds)
+
+    def __len__(self) -> int:
+        return len(self.rounds)
+
+
+@dataclass
+class GridSession:
+    """A long-running Grid with closed-loop trust maintenance.
+
+    Attributes:
+        grid: the Grid being operated (its trust table is mutated in place).
+        behavior: ground truth for how resource domains behave.
+        policy: the trust policy used for scheduling.
+        heuristic: registry name of the mapping heuristic.
+        seed: root seed of the session's random streams.
+        heterogeneity: EEC class of the per-round workloads.
+        arrival_rate: Poisson intensity of the request streams.
+        batch_interval: batch period, required for batch heuristics.
+        fleet: the Figure-1 agent fleet (default: one per domain, always
+            publish).
+        score_clients: if True, RD-side agents also score the originating
+            client domains with the same satisfaction sample (symmetric
+            quantifier, as the paper's single-value table does).
+        constraint: optional hard trust constraint applied each round;
+            with a REJECT policy, refused requests show up in the round's
+            schedule result (and still count toward nothing — no agent
+            observation happens for them).
+    """
+
+    grid: Grid
+    behavior: BehaviorModel
+    policy: TrustPolicy
+    heuristic: str = "mct"
+    seed: int = 0
+    heterogeneity: Heterogeneity = LOLO
+    arrival_rate: float = 0.05
+    batch_interval: float | None = None
+    fleet: AgentFleet | None = None
+    score_clients: bool = False
+    constraint: "TrustConstraint | None" = None
+
+    _now: float = field(default=0.0, init=False)
+    _round: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate <= 0:
+            raise ConfigurationError("arrival_rate must be positive")
+        if self.fleet is None:
+            self.fleet = AgentFleet.for_table(self.grid.trust_table)
+        if self.fleet.grid_table is not self.grid.trust_table:
+            raise ConfigurationError(
+                "the agent fleet must maintain this grid's trust table"
+            )
+        self._rng = RngFactory(seed=self.seed)
+        self._behavior_rng = self._rng.stream("behavior")
+        probe = make_heuristic(self.heuristic)
+        if isinstance(probe, BatchHeuristic) and self.batch_interval is None:
+            raise ConfigurationError(
+                f"heuristic {self.heuristic!r} is batch-mode; set batch_interval"
+            )
+
+    @property
+    def now(self) -> float:
+        """The session clock (advances across rounds)."""
+        return self._now
+
+    def run_round(self, n_requests: int) -> RoundResult:
+        """Generate, schedule and score one round of ``n_requests``.
+
+        Returns the :class:`RoundResult`; the grid's trust table reflects
+        all updates triggered by the round's completions.
+        """
+        if n_requests < 1:
+            raise ConfigurationError("n_requests must be >= 1")
+        round_rng = self._rng.child(f"round-{self._round}")
+        eec = range_based_matrix(
+            n_requests, self.grid.n_machines, self.heterogeneity, round_rng.stream("eec")
+        )
+        arrivals = PoissonProcess(
+            rate=self.arrival_rate, rng=round_rng.stream("arrivals"), start=self._now
+        )
+        requests = generate_request_stream(
+            self.grid, n_requests, arrivals, round_rng.stream("requests")
+        )
+
+        published_before = self.fleet.total_published()
+        heuristic = make_heuristic(self.heuristic)
+        interval = (
+            self.batch_interval if isinstance(heuristic, BatchHeuristic) else None
+        )
+        scheduler = TRMScheduler(
+            self.grid,
+            eec,
+            self.policy,
+            heuristic,
+            batch_interval=interval,
+            on_complete=self._score_completion(requests),
+            constraint=self.constraint,
+        )
+        result = scheduler.run(requests)
+
+        self._now = max(self._now, result.makespan)
+        self._round += 1
+        tcs = [r.trust_cost for r in result.records]
+        return RoundResult(
+            index=self._round - 1,
+            schedule=result,
+            mean_trust_cost=float(np.mean(tcs)) if tcs else 0.0,
+            published_updates=self.fleet.total_published() - published_before,
+            table_levels=self.grid.trust_table.levels.copy(),
+        )
+
+    def run(self, rounds: int, requests_per_round: int) -> SessionResult:
+        """Run several rounds and collect the history."""
+        if rounds < 1:
+            raise ConfigurationError("rounds must be >= 1")
+        return SessionResult(
+            rounds=tuple(self.run_round(requests_per_round) for _ in range(rounds))
+        )
+
+    # -- internal -----------------------------------------------------------
+
+    def _score_completion(self, requests):
+        by_index = {r.index: r for r in requests}
+
+        def hook(record: CompletionRecord) -> None:
+            request = by_index[record.request_index]
+            rd_index = int(self.grid.machine_rd[record.machine_index])
+            cd_index = request.client_domain_index
+            # Score one representative activity of the request's ToA set;
+            # the trust context is per-activity.
+            activity = request.task.activities.activities[0]
+            satisfaction = self.behavior.sample(
+                rd_index, record.completion_time, self._behavior_rng
+            )
+            self.fleet.cd_agents[cd_index].observe_transaction(
+                rd_index, activity, satisfaction, record.completion_time
+            )
+            if self.score_clients:
+                self.fleet.rd_agents[rd_index].observe_transaction(
+                    cd_index, activity, satisfaction, record.completion_time
+                )
+
+        return hook

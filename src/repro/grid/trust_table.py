@@ -1,0 +1,177 @@
+"""The Grid trust-level table (Section 3.1).
+
+A single, centrally maintained table holds the trust level between every
+client domain and resource domain, per type of activity:
+
+    ``TL[cd, rd, activity]  ∈  {A .. E}``
+
+The entry is the paper's symmetric quantifier ``TL_ij^k`` for ``CD_i`` and
+``RD_j`` engaging in activity ``A_k``.  From it the *offered trust level*
+(OTL) of a composed activity is the minimum over the member activities, and
+the *trust cost* of a pairing is ``ETS(RTL, OTL)`` where the RTL is the
+maximum of the client-side and resource-side requirements.
+
+The table is stored as a dense ``(n_cd, n_rd, n_activities)`` NumPy array of
+integer levels so the schedulers can compute whole cost rows with one
+vectorised lookup.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.ets import EtsTable
+from repro.core.levels import MAX_OFFERED_LEVEL, MIN_LEVEL, TrustLevel
+
+__all__ = ["GridTrustTable"]
+
+
+class GridTrustTable:
+    """Dense (CD × RD × ToA) table of offered trust levels.
+
+    Args:
+        n_client_domains: number of client domains (first axis).
+        n_resource_domains: number of resource domains (second axis).
+        n_activities: number of activity types (third axis).
+        initial_level: level every entry starts at (default ``A`` — strangers
+            offer the lowest trust).
+        ets: the expected-trust-supplement table used by trust-cost queries
+            (default: the canonical Table 1 with the F-row override).
+    """
+
+    def __init__(
+        self,
+        n_client_domains: int,
+        n_resource_domains: int,
+        n_activities: int,
+        *,
+        initial_level: TrustLevel | int | str = MIN_LEVEL,
+        ets: EtsTable | None = None,
+    ) -> None:
+        if min(n_client_domains, n_resource_domains, n_activities) < 1:
+            raise ValueError("table dimensions must all be >= 1")
+        initial = TrustLevel.from_value(initial_level)
+        if not initial.is_offerable:
+            raise ValueError("offered levels span A..E; F cannot be stored")
+        self._levels = np.full(
+            (n_client_domains, n_resource_domains, n_activities),
+            int(initial),
+            dtype=np.int64,
+        )
+        self._ets = ets if ets is not None else EtsTable()
+
+    # -- shape ------------------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        """``(n_client_domains, n_resource_domains, n_activities)``."""
+        return self._levels.shape  # type: ignore[return-value]
+
+    @property
+    def ets(self) -> EtsTable:
+        """The ETS table consulted by trust-cost queries."""
+        return self._ets
+
+    @property
+    def levels(self) -> np.ndarray:
+        """Read-only view of the underlying level array."""
+        view = self._levels.view()
+        view.setflags(write=False)
+        return view
+
+    # -- access -----------------------------------------------------------
+
+    def get(self, cd: int, rd: int, activity: int) -> TrustLevel:
+        """The stored level for one (CD, RD, ToA) triple."""
+        return TrustLevel(int(self._levels[cd, rd, activity]))
+
+    def set(self, cd: int, rd: int, activity: int, level: TrustLevel | int | str) -> None:
+        """Publish a new level for one (CD, RD, ToA) triple.
+
+        Raises:
+            ValueError: if the level is ``F`` (not an offerable level).
+        """
+        value = TrustLevel.from_value(level)
+        if not value.is_offerable:
+            raise ValueError("offered levels span A..E; F cannot be stored")
+        self._levels[cd, rd, activity] = int(value)
+
+    def fill_from(self, levels: np.ndarray) -> None:
+        """Bulk-load the whole table from an integer array of levels.
+
+        Used by workload generators; validates the range ``[A, E]``.
+        """
+        arr = np.asarray(levels, dtype=np.int64)
+        if arr.shape != self._levels.shape:
+            raise ValueError(
+                f"level array shape {arr.shape} != table shape {self._levels.shape}"
+            )
+        if arr.min() < int(MIN_LEVEL) or arr.max() > int(MAX_OFFERED_LEVEL):
+            raise ValueError("offered levels must lie in [A, E] = [1, 5]")
+        self._levels[...] = arr
+
+    # -- trust queries ------------------------------------------------------
+
+    def offered_level(self, cd: int, rd: int, activities: Sequence[int]) -> TrustLevel:
+        """OTL for a (possibly composed) activity set: the minimum entry.
+
+        ``TL^o = min(TL for A_p, TL for A_q, ...)`` — Section 3.1.
+        """
+        acts = self._check_activities(activities)
+        return TrustLevel(int(self._levels[cd, rd, acts].min()))
+
+    def offered_row(self, cd: int, activities: Sequence[int]) -> np.ndarray:
+        """Vector of OTLs for client domain ``cd`` across *all* RDs.
+
+        Returns an integer array of shape ``(n_resource_domains,)``; this is
+        the primitive the schedulers use to build per-request cost rows.
+        """
+        acts = self._check_activities(activities)
+        return self._levels[cd, :, acts].min(axis=0)
+
+    def trust_cost(
+        self,
+        cd: int,
+        rd: int,
+        activities: Sequence[int],
+        required: TrustLevel | int | str,
+    ) -> int:
+        """Trust cost ``TC = ETS(RTL, OTL)`` for one pairing."""
+        otl = self.offered_level(cd, rd, activities)
+        return self._ets.lookup(TrustLevel.from_value(required), otl)
+
+    def trust_cost_row(
+        self,
+        cd: int,
+        activities: Sequence[int],
+        required_per_rd: np.ndarray,
+    ) -> np.ndarray:
+        """Vector of trust costs for client domain ``cd`` across all RDs.
+
+        Args:
+            cd: client-domain index.
+            activities: activity indices of the request's task.
+            required_per_rd: integer RTL per resource domain — typically
+                ``max(cd_rtl, rd_rtl[j])`` computed by the caller.
+
+        Returns:
+            Integer TC array of shape ``(n_resource_domains,)``.
+        """
+        otls = self.offered_row(cd, activities)
+        required = np.asarray(required_per_rd, dtype=np.int64)
+        if required.shape != otls.shape:
+            raise ValueError(
+                f"required_per_rd shape {required.shape} != ({otls.shape[0]},)"
+            )
+        return self._ets.lookup_many(required, otls)
+
+    def _check_activities(self, activities: Sequence[int]) -> np.ndarray:
+        acts = np.asarray(list(activities), dtype=np.int64)
+        if acts.size == 0:
+            raise ValueError("activity set must be non-empty")
+        n_act = self._levels.shape[2]
+        if acts.min() < 0 or acts.max() >= n_act:
+            raise ValueError(f"activity indices must lie in [0, {n_act - 1}]")
+        return acts

@@ -1,0 +1,35 @@
+"""Metrics and reporting: schedule metrics, trust-aware vs trust-unaware
+improvement computation, and paper-style table rendering."""
+
+from repro.metrics.improvement import PairedComparison, improvement_fraction
+from repro.metrics.report import Table, format_percent, format_seconds
+from repro.metrics.schedule import (
+    average_completion_time,
+    domain_fairness,
+    jain_fairness,
+    average_flow_time,
+    average_utilization,
+    machine_busy_times,
+    machine_utilizations,
+    makespan,
+    per_domain_completion,
+    waiting_times,
+)
+
+__all__ = [
+    "PairedComparison",
+    "improvement_fraction",
+    "Table",
+    "format_percent",
+    "format_seconds",
+    "average_completion_time",
+    "jain_fairness",
+    "domain_fairness",
+    "average_flow_time",
+    "average_utilization",
+    "machine_busy_times",
+    "machine_utilizations",
+    "makespan",
+    "per_domain_completion",
+    "waiting_times",
+]

@@ -1,0 +1,73 @@
+"""Paper-style table rendering.
+
+Small, dependency-free helpers to print the experiment results in the
+layout of the paper's tables, so benchmark output is directly comparable
+with the published numbers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+__all__ = ["Table", "format_seconds", "format_percent"]
+
+
+def format_seconds(value: float) -> str:
+    """Render a completion time the way the paper does: ``5,817.38``."""
+    return f"{value:,.2f}"
+
+
+def format_percent(value: float, digits: int = 2) -> str:
+    """Render a fraction as a percentage: ``0.3699 -> "36.99%"``."""
+    return f"{value * 100:.{digits}f}%"
+
+
+@dataclass
+class Table:
+    """A simple fixed-width text table.
+
+    Attributes:
+        headers: column headers.
+        title: optional caption printed above the table.
+    """
+
+    headers: Sequence[str]
+    title: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.headers:
+            raise ValueError("a table needs at least one column")
+        self._rows: list[list[str]] = []
+
+    def add_row(self, *cells: object) -> None:
+        """Append a row; cell count must match the headers."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} cells, got {len(cells)}"
+            )
+        self._rows.append([str(c) for c in cells])
+
+    def render(self) -> str:
+        """Render the table as aligned text."""
+        headers = [str(h) for h in self.headers]
+        widths = [
+            max(len(headers[i]), *(len(r[i]) for r in self._rows))
+            if self._rows
+            else len(headers[i])
+            for i in range(len(headers))
+        ]
+        lines: list[str] = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in self._rows:
+            lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - delegation
+        return self.render()
+
+    def __len__(self) -> int:
+        return len(self._rows)

@@ -1,0 +1,144 @@
+"""Standalone schedule metrics.
+
+:class:`~repro.scheduling.result.ScheduleResult` exposes the headline
+numbers as properties; this module provides the same quantities (and a few
+more) as standalone functions over record sequences, so analysis code can
+compute metrics on arbitrary record subsets (per client domain, per machine,
+per time window) without re-running anything.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.scheduling.result import CompletionRecord
+
+__all__ = [
+    "makespan",
+    "average_completion_time",
+    "average_flow_time",
+    "machine_busy_times",
+    "machine_utilizations",
+    "average_utilization",
+    "per_domain_completion",
+    "waiting_times",
+    "jain_fairness",
+    "domain_fairness",
+]
+
+
+def makespan(records: Sequence[CompletionRecord]) -> float:
+    """Latest completion time (the paper's Λ); 0 for an empty schedule."""
+    if not records:
+        return 0.0
+    return max(r.completion_time for r in records)
+
+
+def average_completion_time(records: Sequence[CompletionRecord]) -> float:
+    """Mean absolute completion time — the metric of Tables 4–9."""
+    if not records:
+        return 0.0
+    return float(np.mean([r.completion_time for r in records]))
+
+
+def average_flow_time(records: Sequence[CompletionRecord]) -> float:
+    """Mean time-in-system (completion − arrival)."""
+    if not records:
+        return 0.0
+    return float(np.mean([r.flow_time for r in records]))
+
+
+def waiting_times(records: Sequence[CompletionRecord]) -> np.ndarray:
+    """Per-request wait before execution started (start − arrival)."""
+    return np.array([r.start_time - r.arrival_time for r in records])
+
+
+def machine_busy_times(
+    records: Sequence[CompletionRecord], n_machines: int
+) -> np.ndarray:
+    """Total realised execution cost booked on each machine."""
+    if n_machines < 1:
+        raise ValueError("n_machines must be >= 1")
+    busy = np.zeros(n_machines, dtype=np.float64)
+    for r in records:
+        if not 0 <= r.machine_index < n_machines:
+            raise ValueError(
+                f"record references machine {r.machine_index} outside "
+                f"[0, {n_machines - 1}]"
+            )
+        busy[r.machine_index] += r.realized_cost
+    return busy
+
+
+def machine_utilizations(
+    records: Sequence[CompletionRecord], n_machines: int
+) -> np.ndarray:
+    """Busy fraction of each machine over ``[0, makespan]``."""
+    horizon = makespan(records)
+    busy = machine_busy_times(records, n_machines)
+    if horizon <= 0:
+        return np.zeros_like(busy)
+    return np.minimum(busy / horizon, 1.0)
+
+
+def average_utilization(
+    records: Sequence[CompletionRecord], n_machines: int
+) -> float:
+    """Mean machine utilisation — the "Machine utilization" column."""
+    return float(machine_utilizations(records, n_machines).mean())
+
+
+def jain_fairness(values) -> float:
+    """Jain's fairness index: ``(Σx)² / (n · Σx²)`` in ``(0, 1]``.
+
+    1 means perfectly equal allocation; ``1/n`` means one party gets
+    everything.  Returns 1 for empty or all-zero input (vacuously fair).
+    """
+    x = np.asarray(list(values), dtype=np.float64)
+    if x.size == 0:
+        return 1.0
+    if np.any(x < 0):
+        raise ValueError("fairness is defined for non-negative values")
+    denom = x.size * float(np.square(x).sum())
+    if denom == 0.0:
+        return 1.0
+    return float(np.square(x.sum()) / denom)
+
+
+def domain_fairness(
+    records: Sequence[CompletionRecord],
+    domain_of_request: Sequence[int],
+) -> float:
+    """Jain fairness of mean flow time across client domains.
+
+    A trust-aware scheduler concentrates work on trusted pairings; this
+    measures whether some client domains systematically wait longer.
+    """
+    sums: dict[int, list[float]] = {}
+    for r in records:
+        cd = int(domain_of_request[r.request_index])
+        sums.setdefault(cd, []).append(r.flow_time)
+    means = [float(np.mean(v)) for v in sums.values()]
+    return jain_fairness(means)
+
+
+def per_domain_completion(
+    records: Sequence[CompletionRecord],
+    domain_of_request: Sequence[int],
+) -> dict[int, float]:
+    """Average completion time per originating client domain.
+
+    Args:
+        records: completion records.
+        domain_of_request: map from request index to CD index.
+
+    Returns:
+        CD index → mean completion time of its requests.
+    """
+    sums: dict[int, list[float]] = {}
+    for r in records:
+        cd = int(domain_of_request[r.request_index])
+        sums.setdefault(cd, []).append(r.completion_time)
+    return {cd: float(np.mean(v)) for cd, v in sorted(sums.items())}

@@ -1,0 +1,76 @@
+"""Hard trust constraints (admission control).
+
+The cost-based TRM model softens trust into a completion-cost surcharge;
+the paper's introduction also motivates the *hard* form: "some resource
+consumers may not want their applications mapped onto resources that are
+owned and/or managed by entities they do not trust" — at any price.
+
+A :class:`TrustConstraint` excludes machines whose trust cost exceeds a
+threshold.  When a request has no feasible machine at all, the configured
+:class:`InfeasiblePolicy` applies:
+
+* ``RELAX`` — fall back to the unconstrained machine set for that request
+  (best effort: prefer trusted, never fail);
+* ``REJECT`` — refuse the request; the scheduler records it as rejected
+  instead of mapping it (strict admission control).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.ets import TC_MAX, TC_MIN
+from repro.errors import ConfigurationError
+
+__all__ = ["InfeasiblePolicy", "TrustConstraint"]
+
+
+class InfeasiblePolicy(enum.Enum):
+    """What to do with a request no machine satisfies."""
+
+    RELAX = "relax"
+    REJECT = "reject"
+
+
+@dataclass(frozen=True)
+class TrustConstraint:
+    """Exclude machines above a trust-cost threshold.
+
+    Attributes:
+        max_trust_cost: largest acceptable TC; ``0`` demands fully trusted
+            pairings, ``6`` accepts anything (no-op).
+        infeasible: policy when a request has no feasible machine.
+    """
+
+    max_trust_cost: int
+    infeasible: InfeasiblePolicy = InfeasiblePolicy.RELAX
+
+    def __post_init__(self) -> None:
+        if not TC_MIN <= self.max_trust_cost <= TC_MAX:
+            raise ConfigurationError(
+                f"max_trust_cost must lie in [{TC_MIN}, {TC_MAX}]"
+            )
+
+    def feasible_mask(self, tc_row: np.ndarray) -> np.ndarray:
+        """Boolean mask of machines satisfying the constraint."""
+        return np.asarray(tc_row, dtype=np.float64) <= self.max_trust_cost
+
+    def apply(self, cost_row: np.ndarray, tc_row: np.ndarray) -> np.ndarray:
+        """Return ``cost_row`` with infeasible machines priced at ``+inf``.
+
+        When *no* machine is feasible the behaviour follows the infeasible
+        policy: ``RELAX`` returns the unconstrained row, ``REJECT`` returns
+        the all-``inf`` row (the scheduler turns that into a rejection).
+        """
+        cost_row = np.asarray(cost_row, dtype=np.float64)
+        mask = self.feasible_mask(tc_row)
+        if not mask.any():
+            if self.infeasible is InfeasiblePolicy.RELAX:
+                return cost_row
+            return np.full_like(cost_row, np.inf)
+        out = cost_row.copy()
+        out[~mask] = np.inf
+        return out

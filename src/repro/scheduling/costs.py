@@ -1,0 +1,120 @@
+"""Cost provider: EEC / TC / ECC rows for requests.
+
+Bridges the workload (EEC matrix), the Grid trust model (trust costs) and
+the :class:`~repro.scheduling.policy.TrustPolicy` into the per-request cost
+rows the heuristics consume.  Trust-cost rows are cached per request since
+batch heuristics query them repeatedly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.grid.request import Request
+from repro.grid.topology import Grid
+from repro.scheduling.constraints import TrustConstraint
+from repro.scheduling.policy import TrustPolicy
+
+__all__ = ["CostProvider"]
+
+
+@dataclass
+class CostProvider:
+    """Per-request cost rows over the machines of a Grid.
+
+    Attributes:
+        grid: the Grid (machines, trust table, RTLs).
+        eec: the ``(n_tasks, n_machines)`` expected-execution-cost matrix;
+            row indices are task indices.
+        policy: the trust policy defining mapping and realised costs.
+        constraint: optional hard trust constraint; infeasible machines are
+            priced at ``+inf`` in *mapping* rows (realised rows are
+            untouched — a relaxed assignment still pays its true cost).
+    """
+
+    grid: Grid
+    eec: np.ndarray
+    policy: TrustPolicy
+    constraint: TrustConstraint | None = None
+    _tc_cache: dict[int, np.ndarray] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        self.eec = np.asarray(self.eec, dtype=np.float64)
+        if self.eec.ndim != 2:
+            raise ConfigurationError("EEC matrix must be 2-D")
+        if self.eec.shape[1] != self.grid.n_machines:
+            raise ConfigurationError(
+                f"EEC matrix has {self.eec.shape[1]} columns but the grid has "
+                f"{self.grid.n_machines} machines"
+            )
+        if np.any(self.eec <= 0):
+            raise ConfigurationError("EEC entries must be strictly positive")
+
+    # -- rows ---------------------------------------------------------------
+
+    def eec_row(self, request: Request) -> np.ndarray:
+        """EEC of the request's task on every machine."""
+        task = request.task.index
+        if not 0 <= task < self.eec.shape[0]:
+            raise ConfigurationError(
+                f"task index {task} outside the EEC matrix ({self.eec.shape[0]} rows)"
+            )
+        return self.eec[task]
+
+    def trust_cost_row(self, request: Request) -> np.ndarray:
+        """Trust cost TC of the request on every machine (cached).
+
+        TC depends only on the originating CD, the task's ToA set and the
+        machine's RD, so it is computed once per request.
+        """
+        cached = self._tc_cache.get(request.index)
+        if cached is not None:
+            return cached
+        row = self.grid.trust_cost_per_machine(
+            request.client_domain_index, request.task.activities.indices
+        )
+        row = np.asarray(row, dtype=np.float64)
+        row.setflags(write=False)
+        self._tc_cache[request.index] = row
+        return row
+
+    def mapping_ecc_row(self, request: Request) -> np.ndarray:
+        """Expected completion cost the *scheduler believes*, per machine.
+
+        With a hard constraint installed, machines exceeding the trust-cost
+        threshold are returned as ``+inf`` (an all-``inf`` row signals a
+        rejected request under the ``REJECT`` infeasible policy).
+        """
+        tc = self.trust_cost_row(request)
+        row = self.policy.mapping_ecc(self.eec_row(request), tc)
+        if self.constraint is not None:
+            row = self.constraint.apply(row, tc)
+        return row
+
+    def is_feasible(self, request: Request) -> bool:
+        """Whether at least one machine may legally host ``request``.
+
+        Always True without a constraint or under the RELAX policy.
+        """
+        if self.constraint is None:
+            return True
+        from repro.scheduling.constraints import InfeasiblePolicy
+
+        if self.constraint.infeasible is InfeasiblePolicy.RELAX:
+            return True
+        return bool(self.constraint.feasible_mask(self.trust_cost_row(request)).any())
+
+    def realized_ecc_row(self, request: Request) -> np.ndarray:
+        """Completion cost the system *pays*, per machine."""
+        return self.policy.realized_ecc(self.eec_row(request), self.trust_cost_row(request))
+
+    def with_policy(self, policy: TrustPolicy) -> "CostProvider":
+        """A provider over the same workload under a different policy.
+
+        The TC cache is shared structure-wise (same grid, same requests) but
+        rebuilt lazily; rows are identical because TC is policy-independent.
+        """
+        return CostProvider(grid=self.grid, eec=self.eec, policy=policy)

@@ -1,0 +1,47 @@
+"""K-percent best (KPB) baseline from [10].
+
+For each arriving request, consider only the ``k`` percent of machines with
+the lowest execution cost for it, and among that subset pick the earliest
+completion.  With ``k = 100`` KPB degenerates to MCT; with
+``k = 100 / n_machines`` (subset of one) it degenerates to MET.  The sweet
+spot balances task-machine affinity against load.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.grid.request import Request
+from repro.scheduling.base import ImmediateHeuristic, check_avail
+from repro.scheduling.costs import CostProvider
+
+__all__ = ["KpbHeuristic"]
+
+
+class KpbHeuristic(ImmediateHeuristic):
+    """Minimum completion cost within the k-percent cheapest machines.
+
+    Args:
+        k_percent: size of the candidate subset, in percent of the machine
+            count; must lie in ``(0, 100]``.
+    """
+
+    name = "kpb"
+
+    def __init__(self, k_percent: float = 40.0) -> None:
+        if not 0.0 < k_percent <= 100.0:
+            raise ConfigurationError("k_percent must lie in (0, 100]")
+        self.k_percent = k_percent
+
+    def choose(self, request: Request, costs: CostProvider, avail: np.ndarray) -> int:
+        avail = check_avail(avail, costs.grid.n_machines)
+        ecc = costs.mapping_ecc_row(request)
+        n = ecc.shape[0]
+        subset_size = max(1, math.ceil(n * self.k_percent / 100.0))
+        # Indices of the subset_size cheapest machines by execution cost.
+        candidates = np.argpartition(ecc, subset_size - 1)[:subset_size]
+        completion = avail[candidates] + ecc[candidates]
+        return int(candidates[int(np.argmin(completion))])

@@ -1,0 +1,32 @@
+"""Minimum completion time (MCT) — the paper's on-line heuristic.
+
+"The MCT heuristic assigns each task to the machine that results in that
+task's earliest completion time.  This causes some tasks to be assigned to
+machines that do not have the minimum execution time for them."  (Section 4.1)
+
+The trust-aware variant arises purely from the cost rows: with a trust-aware
+:class:`~repro.scheduling.policy.TrustPolicy` the believed ECC already
+contains the pair-specific security supplement, so minimising completion
+cost is minimising the security-adjusted objective.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grid.request import Request
+from repro.scheduling.base import ImmediateHeuristic, check_avail
+from repro.scheduling.costs import CostProvider
+
+__all__ = ["MctHeuristic"]
+
+
+class MctHeuristic(ImmediateHeuristic):
+    """Assign each arriving request to its earliest-completion-cost machine."""
+
+    name = "mct"
+
+    def choose(self, request: Request, costs: CostProvider, avail: np.ndarray) -> int:
+        avail = check_avail(avail, costs.grid.n_machines)
+        completion = avail + costs.mapping_ecc_row(request)
+        return int(np.argmin(completion))

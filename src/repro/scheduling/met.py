@@ -1,0 +1,28 @@
+"""Minimum execution time (MET) baseline from [10].
+
+Assigns each request to the machine with the lowest *execution* cost for
+it, ignoring machine availability entirely.  Cheap (no availability state
+needed) but can badly imbalance consistent workloads, where one machine is
+fastest for everything — which is exactly why [10] pairs it with MCT inside
+the switching algorithm (:mod:`repro.scheduling.sa`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grid.request import Request
+from repro.scheduling.base import ImmediateHeuristic, check_avail
+from repro.scheduling.costs import CostProvider
+
+__all__ = ["MetHeuristic"]
+
+
+class MetHeuristic(ImmediateHeuristic):
+    """Assign each request to its minimum execution-cost machine."""
+
+    name = "met"
+
+    def choose(self, request: Request, costs: CostProvider, avail: np.ndarray) -> int:
+        check_avail(avail, costs.grid.n_machines)
+        return int(np.argmin(costs.mapping_ecc_row(request)))

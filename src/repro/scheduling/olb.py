@@ -1,0 +1,27 @@
+"""Opportunistic load balancing (OLB) baseline from [10].
+
+Assigns each request to the machine that becomes available soonest,
+regardless of how expensive the task is there.  Keeps machines busy but
+ignores execution costs, so it typically yields the worst makespans of the
+immediate-mode family — a useful lower bar for the comparisons.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grid.request import Request
+from repro.scheduling.base import ImmediateHeuristic, check_avail
+from repro.scheduling.costs import CostProvider
+
+__all__ = ["OlbHeuristic"]
+
+
+class OlbHeuristic(ImmediateHeuristic):
+    """Assign each request to the earliest-available machine."""
+
+    name = "olb"
+
+    def choose(self, request: Request, costs: CostProvider, avail: np.ndarray) -> int:
+        avail = check_avail(avail, costs.grid.n_machines)
+        return int(np.argmin(avail))

@@ -1,0 +1,141 @@
+"""Schedule execution records and aggregate results.
+
+The scheduler emits one :class:`CompletionRecord` per request; a
+:class:`ScheduleResult` bundles them with the final machine states and
+exposes the metrics the paper's tables report (makespan, average completion
+time, machine utilisation) plus a few extras (flow time, security cost
+share).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.grid.machine import MachineState
+
+__all__ = ["CompletionRecord", "ScheduleResult"]
+
+
+@dataclass(frozen=True, slots=True)
+class CompletionRecord:
+    """The realised execution of one request.
+
+    Attributes:
+        request_index: dense request index.
+        machine_index: machine the request ran on.
+        arrival_time: when the request entered the RMS.
+        mapped_time: when the mapping decision was made (arrival for
+            immediate mode, batch-formation time for batch mode).
+        start_time: when execution began on the machine.
+        completion_time: when execution finished.
+        eec: raw execution cost of the task on the chosen machine.
+        realized_cost: total booked cost (EEC + realised security cost).
+        trust_cost: the TC of the pairing (0..6); informational even for
+            trust-unaware runs.
+    """
+
+    request_index: int
+    machine_index: int
+    arrival_time: float
+    mapped_time: float
+    start_time: float
+    completion_time: float
+    eec: float
+    realized_cost: float
+    trust_cost: float
+
+    def __post_init__(self) -> None:
+        if self.completion_time < self.start_time:
+            raise ValueError("completion cannot precede start")
+        if self.start_time < self.arrival_time:
+            raise ValueError("execution cannot start before arrival")
+
+    @property
+    def flow_time(self) -> float:
+        """Time spent in the system: completion − arrival."""
+        return self.completion_time - self.arrival_time
+
+    @property
+    def security_cost(self) -> float:
+        """Realised security overhead: realised cost − EEC."""
+        return self.realized_cost - self.eec
+
+
+@dataclass(frozen=True)
+class ScheduleResult:
+    """Outcome of running one policy/heuristic over one scenario.
+
+    Attributes:
+        heuristic: registry name of the heuristic used.
+        policy_label: ``"trust-aware"`` or ``"trust-unaware"``.
+        records: one completion record per *mapped* request, request order.
+        machine_states: final per-machine bookkeeping.
+        rejected: indices of requests refused by a hard trust constraint
+            (empty unless a ``REJECT`` admission policy was active).
+    """
+
+    heuristic: str
+    policy_label: str
+    records: tuple[CompletionRecord, ...]
+    machine_states: tuple[MachineState, ...]
+    rejected: tuple[int, ...] = ()
+
+    @property
+    def rejection_rate(self) -> float:
+        """Fraction of submitted requests refused admission."""
+        total = len(self.records) + len(self.rejected)
+        if total == 0:
+            return 0.0
+        return len(self.rejected) / total
+
+    @cached_property
+    def makespan(self) -> float:
+        """Latest completion over all requests (Λ); 0 for empty runs."""
+        if not self.records:
+            return 0.0
+        return max(r.completion_time for r in self.records)
+
+    @cached_property
+    def average_completion_time(self) -> float:
+        """Mean absolute completion time — the paper's table metric."""
+        if not self.records:
+            return 0.0
+        return float(np.mean([r.completion_time for r in self.records]))
+
+    @cached_property
+    def average_flow_time(self) -> float:
+        """Mean (completion − arrival) over requests."""
+        if not self.records:
+            return 0.0
+        return float(np.mean([r.flow_time for r in self.records]))
+
+    @cached_property
+    def machine_utilization(self) -> float:
+        """Mean busy-fraction over machines, measured against the makespan."""
+        horizon = self.makespan
+        if horizon <= 0 or not self.machine_states:
+            return 0.0
+        return float(np.mean([s.utilization(horizon) for s in self.machine_states]))
+
+    @cached_property
+    def total_security_cost(self) -> float:
+        """Sum of realised security overheads over all requests."""
+        return float(sum(r.security_cost for r in self.records))
+
+    @cached_property
+    def total_eec(self) -> float:
+        """Sum of raw execution costs over all requests."""
+        return float(sum(r.eec for r in self.records))
+
+    @property
+    def security_overhead_share(self) -> float:
+        """Realised security cost as a fraction of raw execution cost."""
+        if self.total_eec == 0:
+            return 0.0
+        return self.total_security_cost / self.total_eec
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,55 @@
+"""Switching algorithm (SA) baseline from [10].
+
+Alternates between MET (good task-machine affinity, poor balance) and MCT
+(good balance) based on the observed *load-balance index*
+
+    ``r = min(avail) / max(avail)  ∈ [0, 1]``
+
+When the system is well balanced (``r`` rises past ``high``), SA switches
+to MET to exploit affinity; when imbalance grows (``r`` falls below
+``low``), it switches back to MCT to restore balance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.grid.request import Request
+from repro.scheduling.base import ImmediateHeuristic, check_avail
+from repro.scheduling.costs import CostProvider
+from repro.scheduling.mct import MctHeuristic
+from repro.scheduling.met import MetHeuristic
+
+__all__ = ["SwitchingHeuristic"]
+
+
+class SwitchingHeuristic(ImmediateHeuristic):
+    """MET/MCT switcher driven by the load-balance index.
+
+    Args:
+        low: switch to MCT when the balance index drops below this.
+        high: switch to MET when the balance index rises above this.
+    """
+
+    name = "sa"
+
+    def __init__(self, low: float = 0.6, high: float = 0.9) -> None:
+        if not 0.0 <= low <= high <= 1.0:
+            raise ConfigurationError("need 0 <= low <= high <= 1")
+        self.low = low
+        self.high = high
+        self._mct = MctHeuristic()
+        self._met = MetHeuristic()
+        self._using_met = False
+
+    def choose(self, request: Request, costs: CostProvider, avail: np.ndarray) -> int:
+        avail = check_avail(avail, costs.grid.n_machines)
+        max_avail = float(avail.max())
+        ratio = 1.0 if max_avail == 0.0 else float(avail.min()) / max_avail
+        if self._using_met and ratio < self.low:
+            self._using_met = False
+        elif not self._using_met and ratio > self.high:
+            self._using_met = True
+        active = self._met if self._using_met else self._mct
+        return active.choose(request, costs, avail)

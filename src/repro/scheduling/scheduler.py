@@ -1,0 +1,237 @@
+"""The trust-aware resource management scheduler (TRM-scheduler).
+
+Drives a request stream through a mapping heuristic on top of the
+discrete-event kernel, per Section 4.1's assumptions: a centrally organised
+scheduler, non-preemptive mapping, indivisible tasks.
+
+* With an :class:`~repro.scheduling.base.ImmediateHeuristic`, every arrival
+  is mapped the moment it occurs (on-line mode, e.g. MCT).
+* With a :class:`~repro.scheduling.base.BatchHeuristic`, arrivals accumulate
+  and a batch timer fires every ``batch_interval`` time units, forming a
+  *meta-request* that is mapped as a whole (e.g. Min-min, Sufferage).
+
+The scheduler keeps the belief/reality split of Section 5.3 explicit:
+heuristics decide using the policy's *mapping* costs, while machine
+bookkeeping and completion records use the *realised* costs.  Under the
+default accounting the two coincide per policy; under
+``PAIR_REALIZED`` accounting a trust-unaware mapper plans with costs that
+differ from what the machines then pay.
+
+An optional ``on_complete`` hook fires (as a simulation event, at the
+request's completion time) for each finished request — this is where the
+Figure-1 trust agents plug in.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SchedulingError
+from repro.grid.machine import MachineState
+from repro.grid.request import MetaRequest, Request
+from repro.grid.topology import Grid
+from repro.scheduling.base import BatchHeuristic, ImmediateHeuristic
+from repro.scheduling.constraints import TrustConstraint
+from repro.scheduling.costs import CostProvider
+from repro.scheduling.policy import TrustPolicy
+from repro.scheduling.result import CompletionRecord, ScheduleResult
+from repro.sim.events import Event, EventPriority
+from repro.sim.kernel import Simulator
+from repro.sim.trace import Tracer
+
+__all__ = ["TRMScheduler"]
+
+CompletionHook = Callable[[CompletionRecord], None]
+
+
+class TRMScheduler:
+    """Event-driven scheduler binding a grid, a policy and a heuristic.
+
+    Args:
+        grid: the Grid to schedule onto.
+        eec: the ``(n_tasks, n_machines)`` expected-execution-cost matrix.
+        policy: trust policy (aware/unaware + accounting).
+        heuristic: an immediate or batch heuristic instance.
+        batch_interval: meta-request formation period; required for batch
+            heuristics, rejected for immediate ones.
+        tracer: optional tracer receiving ``arrival``/``batch``/``assign``
+            entries.
+        on_complete: optional hook fired at each request's completion time.
+    """
+
+    def __init__(
+        self,
+        grid: Grid,
+        eec: np.ndarray,
+        policy: TrustPolicy,
+        heuristic: ImmediateHeuristic | BatchHeuristic,
+        *,
+        batch_interval: float | None = None,
+        tracer: Tracer | None = None,
+        on_complete: CompletionHook | None = None,
+        constraint: "TrustConstraint | None" = None,
+    ) -> None:
+        self.grid = grid
+        self.policy = policy
+        self.heuristic = heuristic
+        self.costs = CostProvider(
+            grid=grid, eec=eec, policy=policy, constraint=constraint
+        )
+        self.tracer = tracer if tracer is not None else Tracer.disabled()
+        self.on_complete = on_complete
+
+        if isinstance(heuristic, BatchHeuristic):
+            if batch_interval is None or batch_interval <= 0:
+                raise ConfigurationError(
+                    "batch heuristics need a positive batch_interval"
+                )
+            self.batch_interval: float | None = float(batch_interval)
+        elif isinstance(heuristic, ImmediateHeuristic):
+            if batch_interval is not None:
+                raise ConfigurationError(
+                    "immediate heuristics do not take a batch_interval"
+                )
+            self.batch_interval = None
+        else:  # pragma: no cover - type guard
+            raise ConfigurationError(
+                f"unsupported heuristic type: {type(heuristic).__name__}"
+            )
+
+    # -- public API ----------------------------------------------------------
+
+    def run(self, requests: Sequence[Request]) -> ScheduleResult:
+        """Schedule ``requests`` to completion and return the result.
+
+        The request list may be in any order; arrival times drive the run.
+        """
+        sim = Simulator()
+        states = [MachineState(machine=m) for m in self.grid.machines]
+        records: dict[int, CompletionRecord] = {}
+        rejected: list[int] = []
+        pending: list[Request] = []
+        assigned = {"count": 0}
+        total = len(requests)
+        batch_counter = {"count": 0}
+
+        def realize(request: Request, machine: int, mapped_time: float) -> None:
+            state = states[machine]
+            eec = float(self.costs.eec_row(request)[machine])
+            cost = float(self.costs.realized_ecc_row(request)[machine])
+            start = max(state.available_time, mapped_time)
+            completion = state.assign(mapped_time, cost)
+            record = CompletionRecord(
+                request_index=request.index,
+                machine_index=machine,
+                arrival_time=request.arrival_time,
+                mapped_time=mapped_time,
+                start_time=start,
+                completion_time=completion,
+                eec=eec,
+                realized_cost=cost,
+                trust_cost=float(self.costs.trust_cost_row(request)[machine]),
+            )
+            if request.index in records:
+                raise SchedulingError(
+                    f"request {request.index} was mapped twice"
+                )
+            records[request.index] = record
+            assigned["count"] += 1
+            self.tracer.emit(
+                mapped_time,
+                "assign",
+                request=request.index,
+                machine=machine,
+                completion=completion,
+            )
+            if self.on_complete is not None:
+                sim.schedule(
+                    completion,
+                    lambda ev, rec=record: self.on_complete(rec),
+                    priority=EventPriority.COMPLETION,
+                )
+
+        def availability(now: float) -> np.ndarray:
+            alpha = np.array([s.available_time for s in states], dtype=np.float64)
+            return np.maximum(alpha, now)
+
+        def reject(request: Request, time: float) -> None:
+            rejected.append(request.index)
+            assigned["count"] += 1
+            self.tracer.emit(time, "reject", request=request.index)
+
+        def on_arrival(event: Event) -> None:
+            request: Request = event.payload
+            self.tracer.emit(event.time, "arrival", request=request.index)
+            if not self.costs.is_feasible(request):
+                reject(request, event.time)
+                return
+            if self.batch_interval is None:
+                machine = self.heuristic.choose(  # type: ignore[union-attr]
+                    request, self.costs, availability(event.time)
+                )
+                self._check_machine(machine)
+                realize(request, machine, event.time)
+            else:
+                pending.append(request)
+
+        def on_batch(event: Event) -> None:
+            if pending:
+                meta = MetaRequest.of(
+                    pending, formed_at=event.time, index=batch_counter["count"]
+                )
+                batch_counter["count"] += 1
+                self.tracer.emit(event.time, "batch", size=len(meta))
+                plan = self.heuristic.plan(  # type: ignore[union-attr]
+                    list(meta), self.costs, availability(event.time)
+                )
+                if len(plan) != len(meta):
+                    raise SchedulingError(
+                        f"{self.heuristic.name} planned {len(plan)} of "
+                        f"{len(meta)} requests"
+                    )
+                for item in sorted(plan, key=lambda p: p.order):
+                    self._check_machine(item.machine_index)
+                    realize(item.request, item.machine_index, event.time)
+                pending.clear()
+            if assigned["count"] < total:
+                sim.schedule(
+                    event.time + self.batch_interval,
+                    on_batch,
+                    priority=EventPriority.BATCH,
+                )
+
+        for request in requests:
+            sim.schedule(
+                request.arrival_time,
+                on_arrival,
+                priority=EventPriority.ARRIVAL,
+                payload=request,
+            )
+        if self.batch_interval is not None and total > 0:
+            sim.schedule(self.batch_interval, on_batch, priority=EventPriority.BATCH)
+
+        sim.run()
+
+        if len(records) + len(rejected) != total:
+            raise SchedulingError(
+                f"run finished with {len(records)} mapped + {len(rejected)} "
+                f"rejected of {total} requests"
+            )
+        ordered = tuple(
+            records[r.index]
+            for r in sorted(requests, key=lambda r: r.index)
+            if r.index in records
+        )
+        return ScheduleResult(
+            heuristic=self.heuristic.name,
+            policy_label=self.policy.label,
+            records=ordered,
+            machine_states=tuple(states),
+            rejected=tuple(sorted(rejected)),
+        )
+
+    def _check_machine(self, machine: int) -> None:
+        if not 0 <= machine < self.grid.n_machines:
+            raise SchedulingError(f"heuristic chose invalid machine {machine}")

@@ -1,0 +1,44 @@
+"""Discrete-event simulation substrate: kernel, event queue, arrival
+processes, random-stream management, online statistics and tracing."""
+
+from repro.sim.arrivals import (
+    ArrivalProcess,
+    BatchArrivalProcess,
+    DeterministicProcess,
+    PoissonProcess,
+)
+from repro.sim.events import Event, EventPriority
+from repro.sim.kernel import Simulator
+from repro.sim.mmpp import MmppProcess
+from repro.sim.process import Condition, Delay, ProcessEnv, Signal, WaitFor, spawn
+from repro.sim.queue import EventQueue
+from repro.sim.resources import Acquire, Release, Resource
+from repro.sim.rng import RngFactory
+from repro.sim.stats import RunningStats, TimeWeightedStats
+from repro.sim.trace import TraceEntry, Tracer
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonProcess",
+    "DeterministicProcess",
+    "BatchArrivalProcess",
+    "Event",
+    "EventPriority",
+    "EventQueue",
+    "Simulator",
+    "MmppProcess",
+    "Condition",
+    "Delay",
+    "ProcessEnv",
+    "Signal",
+    "WaitFor",
+    "spawn",
+    "Resource",
+    "Acquire",
+    "Release",
+    "RngFactory",
+    "RunningStats",
+    "TimeWeightedStats",
+    "TraceEntry",
+    "Tracer",
+]

@@ -1,0 +1,137 @@
+"""The discrete-event simulation kernel.
+
+A minimal, deterministic DES engine: a clock, an event queue, and a run
+loop.  Handlers scheduled on the kernel receive the fired event and may
+schedule further events (never in the past).  The kernel is deliberately
+free of domain knowledge — the Grid scheduler, arrival processes and trust
+agents are all plugged in as handlers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import EventOrderError, SimulationError
+from repro.sim.events import Event, EventPriority
+from repro.sim.queue import EventQueue
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Event-driven simulation engine.
+
+    Attributes:
+        now: current simulation time; starts at 0 and only moves forward.
+        processed: number of events fired so far.
+    """
+
+    def __init__(self, *, max_events: int = 10_000_000) -> None:
+        if max_events < 1:
+            raise ValueError("max_events must be positive")
+        self.now: float = 0.0
+        self.processed: int = 0
+        self._queue = EventQueue()
+        self._max_events = max_events
+        self._running = False
+
+    # -- scheduling ---------------------------------------------------------
+
+    def schedule(
+        self,
+        time: float,
+        handler: Callable[[Event], None] | None,
+        *,
+        priority: EventPriority = EventPriority.GENERIC,
+        payload: Any = None,
+    ) -> Event:
+        """Schedule ``handler`` to fire at absolute time ``time``.
+
+        Raises:
+            EventOrderError: if ``time`` lies in the simulation's past.
+        """
+        if time < self.now:
+            raise EventOrderError(
+                f"cannot schedule at {time}: clock is already at {self.now}"
+            )
+        event = Event(time=time, priority=priority, handler=handler, payload=payload)
+        return self._queue.push(event)
+
+    def schedule_after(
+        self,
+        delay: float,
+        handler: Callable[[Event], None] | None,
+        *,
+        priority: EventPriority = EventPriority.GENERIC,
+        payload: Any = None,
+    ) -> Event:
+        """Schedule relative to the current clock (``delay >= 0``)."""
+        if delay < 0:
+            raise EventOrderError(f"delay must be non-negative, got {delay}")
+        return self.schedule(
+            self.now + delay, handler, priority=priority, payload=payload
+        )
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a pending event."""
+        self._queue.cancel(event)
+
+    # -- execution ----------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Number of live events awaiting execution."""
+        return len(self._queue)
+
+    def step(self) -> Event:
+        """Fire exactly one event and advance the clock to it.
+
+        Raises:
+            SimulationError: if no events are pending.
+        """
+        try:
+            event = self._queue.pop()
+        except IndexError:
+            raise SimulationError("no pending events to step") from None
+        if event.time < self.now:  # pragma: no cover - guarded at schedule time
+            raise EventOrderError(
+                f"event at {event.time} fired with clock at {self.now}"
+            )
+        self.now = event.time
+        self.processed += 1
+        event.fire()
+        return event
+
+    def run(self, until: float | None = None) -> float:
+        """Run until the queue drains or the clock passes ``until``.
+
+        Events scheduled exactly at ``until`` are still fired.
+
+        Returns:
+            The final simulation time.
+
+        Raises:
+            SimulationError: if the event budget ``max_events`` is exhausted
+                (guards against runaway self-rescheduling handlers).
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (reentrant run())")
+        self._running = True
+        try:
+            while self._queue:
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self.now = until
+                    break
+                self.step()
+                if self.processed > self._max_events:
+                    raise SimulationError(
+                        f"exceeded event budget of {self._max_events} events"
+                    )
+            if until is not None and self.now < until:
+                self.now = until
+            return self.now
+        finally:
+            self._running = False

@@ -1,0 +1,202 @@
+"""Coroutine processes on top of the event kernel.
+
+The scheduler drives the kernel directly with callbacks; for richer models
+(and for downstream users extending the simulator) a generator-based
+*process* abstraction is friendlier: a process is a Python generator that
+``yield``s commands and is resumed by the kernel when they complete.
+
+Supported commands:
+
+* ``Delay(duration)`` — suspend for simulated time;
+* ``WaitFor(condition)`` — suspend until another process signals the
+  condition;
+* ``Signal(condition)`` — wake every process waiting on the condition
+  (does not suspend the signaller).
+
+Example::
+
+    sim = Simulator()
+    done = Condition("done")
+
+    def worker(env):
+        yield Delay(5.0)
+        yield Signal(done)
+
+    def watcher(env):
+        yield WaitFor(done)
+        print("worker finished at", env.now)
+
+    spawn(sim, worker)
+    spawn(sim, watcher)
+    sim.run()
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import SimulationError
+from repro.sim.events import EventPriority
+from repro.sim.kernel import Simulator
+from repro.sim.resources import Acquire, Release
+
+__all__ = ["Delay", "Condition", "WaitFor", "Signal", "ProcessEnv", "spawn"]
+
+
+@dataclass(frozen=True, slots=True)
+class Delay:
+    """Suspend the process for ``duration`` simulated time units."""
+
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError("delay duration must be non-negative")
+
+
+@dataclass
+class Condition:
+    """A named, signalable condition processes can wait on.
+
+    Attributes:
+        name: label for debugging.
+        fired_count: how many times the condition has been signalled.
+    """
+
+    name: str = "condition"
+    fired_count: int = field(default=0, init=False)
+    _waiters: list[Callable[[], None]] = field(default_factory=list, repr=False)
+
+    def _add_waiter(self, resume: Callable[[], None]) -> None:
+        self._waiters.append(resume)
+
+    def _fire(self) -> int:
+        waiters, self._waiters = self._waiters, []
+        self.fired_count += 1
+        for resume in waiters:
+            resume()
+        return len(waiters)
+
+    @property
+    def waiting(self) -> int:
+        """Number of processes currently suspended on this condition."""
+        return len(self._waiters)
+
+
+@dataclass(frozen=True, slots=True)
+class WaitFor:
+    """Suspend the process until ``condition`` is signalled."""
+
+    condition: Condition
+
+
+@dataclass(frozen=True, slots=True)
+class Signal:
+    """Wake every process waiting on ``condition``; does not suspend."""
+
+    condition: Condition
+
+
+@dataclass
+class ProcessEnv:
+    """Per-process view handed to the generator function.
+
+    Attributes:
+        sim: the kernel driving this process.
+        name: the process name.
+        finished: True once the generator has completed.
+    """
+
+    sim: Simulator
+    name: str
+    finished: bool = False
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self.sim.now
+
+
+ProcessFn = Callable[[ProcessEnv], Generator]
+
+
+def spawn(
+    sim: Simulator,
+    fn: ProcessFn,
+    *,
+    name: str | None = None,
+    at: float | None = None,
+) -> ProcessEnv:
+    """Start a generator process on the kernel.
+
+    Args:
+        sim: the simulator to run on.
+        fn: generator function taking the :class:`ProcessEnv`.
+        name: process name (defaults to the function name).
+        at: absolute start time (defaults to now).
+
+    Returns:
+        The process's :class:`ProcessEnv` (its ``finished`` flag flips when
+        the generator returns).
+    """
+    env = ProcessEnv(sim=sim, name=name or getattr(fn, "__name__", "process"))
+    gen = fn(env)
+    if not isinstance(gen, Generator):
+        raise SimulationError(f"process {env.name!r} must be a generator function")
+
+    def step(send_value=None) -> None:
+        try:
+            command = gen.send(send_value)
+        except StopIteration:
+            env.finished = True
+            return
+        _dispatch(command)
+
+    def _dispatch(command) -> None:
+        if isinstance(command, Delay):
+            sim.schedule_after(
+                command.duration,
+                lambda ev: step(),
+                priority=EventPriority.GENERIC,
+            )
+        elif isinstance(command, WaitFor):
+            command.condition._add_waiter(
+                lambda: sim.schedule_after(
+                    0.0, lambda ev: step(), priority=EventPriority.GENERIC
+                )
+            )
+        elif isinstance(command, Signal):
+            woken = command.condition._fire()
+            sim.schedule_after(
+                0.0, lambda ev: step(woken), priority=EventPriority.GENERIC
+            )
+        elif isinstance(command, Acquire):
+            granted = command.resource._try_acquire(
+                lambda: sim.schedule_after(
+                    0.0, lambda ev: step(), priority=EventPriority.GENERIC
+                )
+            )
+            if granted:
+                sim.schedule_after(
+                    0.0, lambda ev: step(), priority=EventPriority.GENERIC
+                )
+        elif isinstance(command, Release):
+            resume = command.resource._release()
+            if resume is not None:
+                resume()
+            sim.schedule_after(
+                0.0, lambda ev: step(), priority=EventPriority.GENERIC
+            )
+        else:
+            gen.close()
+            env.finished = True
+            raise SimulationError(
+                f"process {env.name!r} yielded unsupported command "
+                f"{command!r}; expected Delay, WaitFor or Signal"
+            )
+
+    start = sim.now if at is None else at
+    sim.schedule(start, lambda ev: step(), priority=EventPriority.GENERIC)
+    return env

@@ -1,0 +1,90 @@
+"""Capacity resources for the coroutine process layer.
+
+A :class:`Resource` is a counted capacity (machines, licences, network
+slots) that processes acquire and release.  Acquisition is FIFO-fair: when
+capacity frees up, the longest-waiting process is resumed first, which
+keeps runs deterministic.
+
+Usage inside a process::
+
+    cpu = Resource("cpu", capacity=2)
+
+    def job(env):
+        yield Acquire(cpu)
+        yield Delay(10.0)
+        yield Release(cpu)
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import SimulationError
+
+__all__ = ["Resource", "Acquire", "Release"]
+
+
+@dataclass
+class Resource:
+    """A counted, FIFO-fair capacity.
+
+    Attributes:
+        name: label for debugging.
+        capacity: total units; must be positive.
+        in_use: units currently held.
+    """
+
+    name: str
+    capacity: int = 1
+    in_use: int = field(default=0, init=False)
+    _waiters: deque = field(default_factory=deque, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError("capacity must be >= 1")
+
+    @property
+    def available(self) -> int:
+        """Units currently free."""
+        return self.capacity - self.in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Processes waiting to acquire."""
+        return len(self._waiters)
+
+    def _try_acquire(self, resume: Callable[[], None]) -> bool:
+        """Grant a unit immediately or enqueue the resume callback."""
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            return True
+        self._waiters.append(resume)
+        return False
+
+    def _release(self) -> Callable[[], None] | None:
+        """Free one unit; returns the next waiter's resume, if any."""
+        if self.in_use <= 0:
+            raise SimulationError(
+                f"resource {self.name!r} released more times than acquired"
+            )
+        if self._waiters:
+            # Hand the unit straight to the next waiter (in_use unchanged).
+            return self._waiters.popleft()
+        self.in_use -= 1
+        return None
+
+
+@dataclass(frozen=True, slots=True)
+class Acquire:
+    """Suspend until one unit of ``resource`` is granted."""
+
+    resource: Resource
+
+
+@dataclass(frozen=True, slots=True)
+class Release:
+    """Return one unit of ``resource``; never suspends."""
+
+    resource: Resource

@@ -1,0 +1,73 @@
+"""Consistency structure of EEC matrices.
+
+A matrix is *consistent* when machine orderings agree across tasks (if
+machine ``a`` is faster than ``b`` for one task it is faster for all) —
+modelled by sorting each row.  It is *inconsistent* when entries are left
+unordered ("the machines are not related", Section 5.3).  *Semi-consistent*
+matrices (from [10]) are inconsistent except that the even-indexed columns,
+considered alone, are consistent.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+__all__ = ["Consistency", "apply_consistency"]
+
+
+class Consistency(enum.Enum):
+    """How machine orderings relate across tasks."""
+
+    CONSISTENT = "consistent"
+    INCONSISTENT = "inconsistent"
+    SEMI_CONSISTENT = "semi-consistent"
+
+    @classmethod
+    def from_name(cls, name: str) -> "Consistency":
+        """Parse a (case-insensitive) consistency name."""
+        try:
+            return cls(name.strip().lower())
+        except ValueError:
+            valid = ", ".join(c.value for c in cls)
+            raise WorkloadError(
+                f"unknown consistency {name!r}; expected one of: {valid}"
+            ) from None
+
+
+def apply_consistency(matrix: np.ndarray, consistency: Consistency) -> np.ndarray:
+    """Return a copy of ``matrix`` restructured to the given consistency.
+
+    Rows are tasks, columns are machines.
+
+    * ``CONSISTENT``: each row sorted ascending, so column 0 is the uniformly
+      fastest machine.
+    * ``INCONSISTENT``: returned as-is (copied).
+    * ``SEMI_CONSISTENT``: within each row, the values sitting in the
+      even-indexed columns are sorted ascending among themselves.
+
+    Raises:
+        WorkloadError: if the matrix is not 2-D or contains non-positive
+            entries.
+    """
+    arr = np.asarray(matrix, dtype=np.float64)
+    if arr.ndim != 2:
+        raise WorkloadError(f"EEC matrix must be 2-D, got shape {arr.shape}")
+    if arr.size == 0:
+        raise WorkloadError("EEC matrix must be non-empty")
+    if np.any(arr <= 0):
+        raise WorkloadError("EEC entries must be strictly positive")
+
+    if consistency is Consistency.INCONSISTENT:
+        return arr.copy()
+    if consistency is Consistency.CONSISTENT:
+        return np.sort(arr, axis=1)
+    if consistency is Consistency.SEMI_CONSISTENT:
+        out = arr.copy()
+        even = out[:, ::2]
+        out[:, ::2] = np.sort(even, axis=1)
+        return out
+    raise WorkloadError(f"unhandled consistency {consistency!r}")  # pragma: no cover

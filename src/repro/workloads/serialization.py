@@ -1,0 +1,191 @@
+"""Scenario serialisation.
+
+A materialised :class:`~repro.workloads.scenario.Scenario` is normally
+regenerated from ``(spec, seed)``, but downstream users often need to pin
+the *exact* workload across library versions (the generators may change) or
+exchange scenarios between tools.  This module round-trips scenarios
+through plain JSON: the grid structure, trust attributes and table, the
+EEC matrix, and the request stream.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.core.ets import EtsTable
+from repro.errors import WorkloadError
+from repro.grid.activities import ActivityCatalog, ActivitySet
+from repro.grid.request import Request, Task
+from repro.grid.topology import Grid, GridBuilder
+from repro.workloads.consistency import Consistency
+from repro.workloads.heterogeneity import BY_NAME, Heterogeneity
+from repro.workloads.scenario import Scenario, ScenarioSpec
+
+__all__ = ["scenario_to_dict", "scenario_from_dict", "save_scenario", "load_scenario"]
+
+_FORMAT_VERSION = 1
+
+
+def _spec_to_dict(spec: ScenarioSpec) -> dict[str, Any]:
+    return {
+        "n_tasks": spec.n_tasks,
+        "n_machines": spec.n_machines,
+        "heterogeneity": spec.heterogeneity.name,
+        "consistency": spec.consistency.value,
+        "arrival_rate": spec.arrival_rate,
+        "target_load": spec.target_load,
+        "batch_arrivals": spec.batch_arrivals,
+        "n_activities": spec.n_activities,
+        "min_toas": spec.min_toas,
+        "max_toas": spec.max_toas,
+        "cd_range": list(spec.cd_range),
+        "rd_range": list(spec.rd_range),
+        "clients_per_cd": spec.clients_per_cd,
+        "otl_per_pair": spec.otl_per_pair,
+        "ets_f_forces_max": spec.ets_f_forces_max,
+        "burstiness": spec.burstiness,
+    }
+
+
+def _spec_from_dict(data: dict[str, Any]) -> ScenarioSpec:
+    het = BY_NAME.get(str(data["heterogeneity"]).lower())
+    if het is None:
+        raise WorkloadError(f"unknown heterogeneity {data['heterogeneity']!r}")
+    return ScenarioSpec(
+        n_tasks=int(data["n_tasks"]),
+        n_machines=int(data["n_machines"]),
+        heterogeneity=het,
+        consistency=Consistency(data["consistency"]),
+        arrival_rate=data["arrival_rate"],
+        target_load=float(data["target_load"]),
+        batch_arrivals=bool(data["batch_arrivals"]),
+        n_activities=int(data["n_activities"]),
+        min_toas=int(data["min_toas"]),
+        max_toas=int(data["max_toas"]),
+        cd_range=tuple(data["cd_range"]),
+        rd_range=tuple(data["rd_range"]),
+        clients_per_cd=int(data["clients_per_cd"]),
+        otl_per_pair=bool(data["otl_per_pair"]),
+        ets_f_forces_max=bool(data["ets_f_forces_max"]),
+        burstiness=data.get("burstiness"),
+    )
+
+
+def _grid_to_dict(grid: Grid) -> dict[str, Any]:
+    return {
+        "activities": [a.name for a in grid.catalog],
+        "grid_domains": [gd.name for gd in grid.grid_domains],
+        "resource_domains": [
+            {
+                "grid_domain": rd.grid_domain.index,
+                "required_level": int(rd.required_level),
+                "supported_activities": sorted(a.index for a in rd.supported_activities),
+            }
+            for rd in grid.resource_domains
+        ],
+        "client_domains": [
+            {
+                "grid_domain": cd.grid_domain.index,
+                "required_level": int(cd.required_level),
+            }
+            for cd in grid.client_domains
+        ],
+        "machines": [int(rd) for rd in grid.machine_rd],
+        "clients": [int(cd) for cd in grid.client_cd],
+        "trust_levels": grid.trust_table.levels.tolist(),
+        "ets_f_forces_max": grid.trust_table.ets.f_forces_max,
+    }
+
+
+def _grid_from_dict(data: dict[str, Any]) -> Grid:
+    catalog = ActivityCatalog(data["activities"])
+    builder = GridBuilder(catalog)
+    gds = [builder.grid_domain(name) for name in data["grid_domains"]]
+    rds = []
+    for rd_data in data["resource_domains"]:
+        supported = [catalog.by_index(i) for i in rd_data["supported_activities"]]
+        rds.append(
+            builder.resource_domain(
+                gds[rd_data["grid_domain"]],
+                required_level=rd_data["required_level"],
+                supported_activities=supported,
+            )
+        )
+    cds = [
+        builder.client_domain(gds[cd["grid_domain"]], required_level=cd["required_level"])
+        for cd in data["client_domains"]
+    ]
+    for rd_index in data["machines"]:
+        builder.machine(rds[rd_index])
+    for cd_index in data["clients"]:
+        builder.client(cds[cd_index])
+    grid = builder.build(ets=EtsTable(f_forces_max=bool(data["ets_f_forces_max"])))
+    grid.trust_table.fill_from(np.asarray(data["trust_levels"], dtype=np.int64))
+    return grid
+
+
+def scenario_to_dict(scenario: Scenario) -> dict[str, Any]:
+    """Serialise a scenario to a JSON-compatible dictionary."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "seed": scenario.seed,
+        "spec": _spec_to_dict(scenario.spec),
+        "grid": _grid_to_dict(scenario.grid),
+        "eec": scenario.eec.tolist(),
+        "requests": [
+            {
+                "index": r.index,
+                "client": r.client.index,
+                "activities": list(r.task.activities.indices),
+                "arrival_time": r.arrival_time,
+            }
+            for r in scenario.requests
+        ],
+    }
+
+
+def scenario_from_dict(data: dict[str, Any]) -> Scenario:
+    """Rebuild a scenario from :func:`scenario_to_dict` output.
+
+    Raises:
+        WorkloadError: on unknown format versions or invalid content.
+    """
+    version = data.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise WorkloadError(
+            f"unsupported scenario format version {version!r}; "
+            f"this library reads version {_FORMAT_VERSION}"
+        )
+    spec = _spec_from_dict(data["spec"])
+    grid = _grid_from_dict(data["grid"])
+    eec = np.asarray(data["eec"], dtype=np.float64)
+    requests = []
+    for r in data["requests"]:
+        activities = ActivitySet.of([grid.catalog.by_index(a) for a in r["activities"]])
+        requests.append(
+            Request(
+                index=int(r["index"]),
+                client=grid.clients[int(r["client"])],
+                task=Task(index=int(r["index"]), activities=activities),
+                arrival_time=float(r["arrival_time"]),
+            )
+        )
+    return Scenario(
+        spec=spec, seed=int(data["seed"]), grid=grid, eec=eec, requests=tuple(requests)
+    )
+
+
+def save_scenario(scenario: Scenario, path: str | Path) -> Path:
+    """Write a scenario to ``path`` as JSON; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(scenario_to_dict(scenario)), encoding="utf-8")
+    return path
+
+
+def load_scenario(path: str | Path) -> Scenario:
+    """Read a scenario written by :func:`save_scenario`."""
+    return scenario_from_dict(json.loads(Path(path).read_text(encoding="utf-8")))

@@ -1,0 +1,90 @@
+"""Random generation of trust attributes.
+
+Section 5.3's sampling rules:
+
+* required trust levels (RTLs) — "randomly generated from [1, 6]" — one for
+  the client side of each CD and one for the resource side of each RD;
+* offered trust levels (OTLs) — "randomly generated from [1, 5]" — one per
+  (CD, RD, activity) entry of the trust-level table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.levels import MAX_LEVEL, MAX_OFFERED_LEVEL, MIN_LEVEL, TrustLevel
+from repro.errors import WorkloadError
+
+__all__ = ["sample_required_levels", "sample_offered_table", "sample_activity_sets"]
+
+
+def sample_required_levels(
+    count: int, rng: np.random.Generator, *, low: int = 1, high: int = 6
+) -> np.ndarray:
+    """Sample ``count`` RTLs uniformly from ``[low, high]`` (levels A..F).
+
+    Returns an integer array of level values.
+    """
+    if count < 1:
+        raise WorkloadError("count must be >= 1")
+    if not (int(MIN_LEVEL) <= low <= high <= int(MAX_LEVEL)):
+        raise WorkloadError(f"RTL bounds must satisfy 1 <= low <= high <= 6")
+    return rng.integers(low, high + 1, size=count, dtype=np.int64)
+
+
+def sample_offered_table(
+    n_client_domains: int,
+    n_resource_domains: int,
+    n_activities: int,
+    rng: np.random.Generator,
+    *,
+    low: int = 1,
+    high: int = 5,
+) -> np.ndarray:
+    """Sample a full (CD × RD × ToA) offered-trust-level table.
+
+    Entries are uniform over ``[low, high]`` (levels A..E by default).
+    """
+    if min(n_client_domains, n_resource_domains, n_activities) < 1:
+        raise WorkloadError("table dimensions must all be >= 1")
+    if not (int(MIN_LEVEL) <= low <= high <= int(MAX_OFFERED_LEVEL)):
+        raise WorkloadError("OTL bounds must satisfy 1 <= low <= high <= 5")
+    return rng.integers(
+        low,
+        high + 1,
+        size=(n_client_domains, n_resource_domains, n_activities),
+        dtype=np.int64,
+    )
+
+
+def sample_activity_sets(
+    n_requests: int,
+    n_activities: int,
+    rng: np.random.Generator,
+    *,
+    min_toas: int = 1,
+    max_toas: int = 4,
+) -> list[tuple[int, ...]]:
+    """Sample the ToA set of each request.
+
+    The paper draws the number of ToAs per request uniformly from ``[1, 4]``
+    ("each t(r_i) involves at least one ToA but no more than four ToAs");
+    the member activities are then chosen without replacement from the
+    catalog.
+
+    Returns:
+        A list of ``n_requests`` activity-index tuples.
+    """
+    if n_requests < 0:
+        raise WorkloadError("n_requests must be non-negative")
+    if n_activities < 1:
+        raise WorkloadError("n_activities must be >= 1")
+    if not 1 <= min_toas <= max_toas:
+        raise WorkloadError("need 1 <= min_toas <= max_toas")
+    cap = min(max_toas, n_activities)
+    floor = min(min_toas, cap)
+    sizes = rng.integers(floor, cap + 1, size=n_requests)
+    return [
+        tuple(int(a) for a in rng.choice(n_activities, size=int(k), replace=False))
+        for k in sizes
+    ]

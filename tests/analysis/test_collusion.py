@@ -1,0 +1,68 @@
+"""Tests for the collusion-resistance study."""
+
+import pytest
+
+from repro.analysis.collusion import CollusionOutcome, run_collusion_study
+from repro.errors import ConfigurationError
+
+
+class TestCollusionStudy:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        return run_collusion_study(seed=0)
+
+    def test_clique_inflates_reputation_without_r(self, outcome):
+        """Without R the collusive lies inflate the clique's reputation."""
+        assert outcome.inflation_undefended > 0.10
+
+    def test_r_removes_most_of_the_inflation(self, outcome):
+        assert outcome.defense_effectiveness > 0.7
+        assert abs(outcome.inflation_defended) < abs(outcome.inflation_undefended)
+
+    def test_honest_entities_not_harmed(self, outcome):
+        """R must not destroy honest entities' reputations."""
+        assert outcome.honest_estimate_defended > outcome.honest_truth - 0.15
+
+    def test_alliance_discount_alone_helps(self):
+        with_learning = run_collusion_study(seed=1, learn_accuracy=True)
+        without_learning = run_collusion_study(seed=1, learn_accuracy=False)
+        for o in (with_learning, without_learning):
+            assert o.defense_effectiveness > 0.3
+        # Learning accuracy strengthens the defence further.
+        assert (
+            with_learning.clique_estimate_defended
+            <= without_learning.clique_estimate_defended + 0.05
+        )
+
+    def test_bigger_cliques_inflate_more(self):
+        small = run_collusion_study(seed=2, n_clique=2)
+        large = run_collusion_study(seed=2, n_clique=6)
+        assert large.inflation_undefended > small.inflation_undefended
+
+    def test_deterministic(self):
+        a = run_collusion_study(seed=5)
+        b = run_collusion_study(seed=5)
+        assert a == b
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_honest": 1},
+            {"n_clique": 1},
+            {"honest_truth": 1.5},
+            {"clique_truth": -0.1},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            run_collusion_study(**kwargs)
+
+    def test_effectiveness_bounds(self):
+        o = CollusionOutcome(
+            clique_truth=0.3,
+            clique_estimate_defended=0.3,
+            clique_estimate_undefended=0.2,  # no inflation at all
+            honest_estimate_defended=0.8,
+            honest_truth=0.85,
+        )
+        assert o.defense_effectiveness == 1.0

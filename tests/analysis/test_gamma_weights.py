@@ -1,0 +1,41 @@
+"""Tests for the (alpha, beta) gamma-weight ablation."""
+
+import pytest
+
+from repro.analysis.gamma_weights import GammaWeightOutcome, ablate_gamma_weights
+from repro.errors import ConfigurationError
+
+
+class TestGammaWeightAblation:
+    @pytest.fixture(scope="class")
+    def outcomes(self):
+        return ablate_gamma_weights(alphas=(1.0, 0.7), rounds=4, requests_per_round=25)
+
+    def test_one_outcome_per_alpha(self, outcomes):
+        assert [o.alpha for o in outcomes] == [1.0, 0.7]
+        assert all(o.beta == pytest.approx(1.0 - o.alpha) for o in outcomes)
+
+    def test_table_learns_under_all_weights(self, outcomes):
+        # Cold table has error ~2.2 against the chosen truth; learning
+        # must cut it substantially for every weighting.
+        for o in outcomes:
+            assert o.mean_level_error < 1.5
+            assert o.published_updates > 0
+
+    def test_blending_reputation_helps_sparse_evidence(self, outcomes):
+        pure_direct = next(o for o in outcomes if o.alpha == 1.0)
+        blended = next(o for o in outcomes if o.alpha == 0.7)
+        # Pooling the fleet's evidence should not hurt accuracy (and
+        # typically helps); allow a small noise margin at this scale.
+        assert blended.mean_level_error <= pure_direct.mean_level_error + 0.15
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ablate_gamma_weights(alphas=())
+        with pytest.raises(ConfigurationError):
+            ablate_gamma_weights(alphas=(1.5,), rounds=1)
+
+    def test_deterministic(self):
+        a = ablate_gamma_weights(alphas=(0.5,), rounds=2, requests_per_round=10)
+        b = ablate_gamma_weights(alphas=(0.5,), rounds=2, requests_per_round=10)
+        assert a[0].mean_level_error == b[0].mean_level_error

@@ -1,0 +1,72 @@
+"""Tests for sweeps and ablations."""
+
+import pytest
+
+from repro.analysis.ablation import (
+    ablate_accounting,
+    ablate_f_override,
+    ablate_otl_granularity,
+    ablate_tc_weight,
+    ablate_unaware_fraction,
+)
+from repro.analysis.sweep import sweep_batch_interval, sweep_policy, sweep_scenario_field
+from repro.scheduling.policy import SecurityAccounting
+
+FAST = dict(replications=3)
+
+
+class TestSweeps:
+    def test_scenario_field_sweep(self):
+        points = sweep_scenario_field(
+            "n_machines", [3, 6], n_tasks=12, replications=3
+        )
+        assert [p.value for p in points] == [3, 6]
+        assert all(p.cell.replications == 3 for p in points)
+
+    def test_batch_interval_sweep(self):
+        points = sweep_batch_interval([100.0, 800.0], n_tasks=12, replications=3)
+        assert len(points) == 2
+        assert points[0].cell.heuristic == "min-min"
+
+    def test_policy_sweep_one_knob_at_a_time(self):
+        with pytest.raises(ValueError):
+            sweep_policy(tc_weights=(15.0,), unaware_fractions=(0.5,))
+        with pytest.raises(ValueError):
+            sweep_policy()
+
+    def test_policy_sweep_fractions(self):
+        points = sweep_policy(
+            unaware_fractions=(0.5, 0.9), n_tasks=12, replications=3
+        )
+        # A costlier unaware baseline means a larger improvement.
+        assert points[1].improvement > points[0].improvement
+
+
+class TestAblations:
+    def test_accounting_ablation_shows_flat_advantage(self):
+        points = ablate_accounting(**FAST)
+        by_mode = {p.value: p.improvement for p in points}
+        assert (
+            by_mode[SecurityAccounting.CONSERVATIVE_FLAT]
+            > by_mode[SecurityAccounting.PAIR_REALIZED]
+        )
+
+    def test_unaware_fraction_monotone(self):
+        points = ablate_unaware_fraction((0.5, 0.9), **FAST)
+        assert points[1].improvement > points[0].improvement
+
+    def test_tc_weight_ablation_runs(self):
+        points = ablate_tc_weight((5.0, 25.0), **FAST)
+        assert [p.value for p in points] == [5.0, 25.0]
+
+    def test_otl_granularity_ablation(self):
+        points = ablate_otl_granularity(**FAST)
+        by_flag = {p.value: p.improvement for p in points}
+        # Per-activity min-composition is harsher: smaller improvement.
+        assert by_flag[True] >= by_flag[False]
+
+    def test_f_override_ablation(self):
+        points = ablate_f_override(**FAST)
+        by_flag = {p.value: p.improvement for p in points}
+        # The F-row override forces max supplements and shrinks improvement.
+        assert by_flag[False] >= by_flag[True]

@@ -1,0 +1,70 @@
+"""Tests for the makespan-dominance theorem verification."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.theorem import (
+    check_dominance,
+    single_task_dominance_holds,
+)
+
+
+class TestSingleTaskBaseCase:
+    """The provable n=1 case: aware never loses on the true objective."""
+
+    def test_example(self):
+        eec = np.array([10.0, 12.0])
+        tc = np.array([6.0, 0.0])
+        # Unaware picks machine 0 (EEC 10) and pays 19; aware picks 12.
+        assert single_task_dominance_holds(eec, tc)
+
+    @settings(max_examples=200)
+    @given(
+        st.lists(st.floats(min_value=0.1, max_value=1e4), min_size=1, max_size=10),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_property_always_holds(self, eecs, seed):
+        """Hypothesis: the base case holds for arbitrary cost rows."""
+        rng = np.random.default_rng(seed)
+        eec = np.array(eecs)
+        tc = rng.integers(0, 7, size=eec.size).astype(float)
+        assert single_task_dominance_holds(eec, tc)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            single_task_dominance_holds(np.array([1.0]), np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            single_task_dominance_holds(np.array([]), np.array([]))
+
+
+class TestEmpiricalDominance:
+    def test_mct_dominance_is_strong_tendency_under_flat_accounting(self):
+        report = check_dominance("mct", trials=15, n_tasks=30)
+        assert report.trials == 15
+        # The greedy multi-task case is a tendency, not a theorem: allow a
+        # small violation rate but require a clearly positive mean margin.
+        assert report.violations <= 5
+        assert report.mean_margin > 0.05
+
+    def test_pair_realized_accounting_is_a_wash(self):
+        """The reproduction finding: on the proof's own cost surface the
+        multi-task dominance claim does NOT hold uniformly."""
+        from repro.scheduling.policy import SecurityAccounting
+
+        report = check_dominance(
+            "mct",
+            trials=15,
+            n_tasks=30,
+            accounting=SecurityAccounting.PAIR_REALIZED,
+        )
+        assert abs(report.mean_margin) < 0.10  # neither side wins decisively
+
+    def test_batch_heuristic_supported(self):
+        report = check_dominance("min-min", trials=5, n_tasks=15)
+        assert len(report.margins) == 5
+
+    def test_report_holds_flag(self):
+        report = check_dominance("mct", trials=3, n_tasks=10, base_seed=100)
+        assert report.holds == (report.violations == 0)

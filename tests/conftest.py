@@ -1,0 +1,42 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.grid.activities import ActivityCatalog
+from repro.grid.topology import Grid, GridBuilder
+from repro.workloads.scenario import ScenarioSpec, materialize
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_grid() -> Grid:
+    """A hand-built grid: 2 RDs (3 machines), 2 CDs (2 clients), 3 ToAs."""
+    catalog = ActivityCatalog(["execute", "store", "print"])
+    builder = GridBuilder(catalog)
+    gd_a = builder.grid_domain("site-a")
+    gd_b = builder.grid_domain("site-b")
+    rd0 = builder.resource_domain(gd_a, required_level="B")
+    rd1 = builder.resource_domain(gd_b, required_level="D")
+    builder.machine(rd0)
+    builder.machine(rd0)
+    builder.machine(rd1)
+    cd0 = builder.client_domain(gd_a, required_level="C")
+    cd1 = builder.client_domain(gd_b, required_level="A")
+    builder.client(cd0)
+    builder.client(cd1)
+    return builder.build()
+
+
+@pytest.fixture
+def small_scenario():
+    """A small materialised scenario (12 tasks, 3 machines)."""
+    spec = ScenarioSpec(n_tasks=12, n_machines=3, target_load=2.0)
+    return materialize(spec, seed=7)

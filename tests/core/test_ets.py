@@ -1,0 +1,102 @@
+"""Tests for repro.core.ets — Table 1 semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.ets import EtsTable, TC_MAX, TC_MIN, expected_trust_supplement, trust_cost
+from repro.core.levels import TrustLevel
+
+rtl_ints = st.integers(min_value=1, max_value=6)
+otl_ints = st.integers(min_value=1, max_value=5)
+
+
+class TestExpectedTrustSupplement:
+    def test_zero_when_offer_meets_requirement(self):
+        assert expected_trust_supplement("B", "B") == 0
+        assert expected_trust_supplement("A", "E") == 0
+
+    def test_shortfall_is_level_difference(self):
+        assert expected_trust_supplement("D", "B") == 2
+        assert expected_trust_supplement("E", "A") == 4
+
+    def test_f_row_forces_maximum(self):
+        for otl in "ABCDE":
+            assert expected_trust_supplement("F", otl) == 6
+
+    def test_f_row_without_override(self):
+        assert expected_trust_supplement("F", "E", f_forces_max=False) == 1
+        assert expected_trust_supplement("F", "A", f_forces_max=False) == 5
+
+    def test_otl_f_rejected(self):
+        with pytest.raises(ValueError, match="cannot be F"):
+            expected_trust_supplement("A", "F")
+
+    def test_trust_cost_is_alias(self):
+        assert trust_cost is expected_trust_supplement
+
+    @given(rtl_ints, otl_ints)
+    def test_bounds(self, rtl, otl):
+        tc = expected_trust_supplement(rtl, otl)
+        assert TC_MIN <= tc <= TC_MAX
+
+    @given(rtl_ints, otl_ints, otl_ints)
+    def test_monotone_in_offer(self, rtl, otl_a, otl_b):
+        """A better offer never increases the supplement."""
+        lo, hi = sorted((otl_a, otl_b))
+        assert expected_trust_supplement(rtl, hi) <= expected_trust_supplement(rtl, lo)
+
+    @given(rtl_ints, rtl_ints, otl_ints)
+    def test_monotone_in_requirement(self, rtl_a, rtl_b, otl):
+        """A stricter requirement never decreases the supplement."""
+        lo, hi = sorted((rtl_a, rtl_b))
+        assert expected_trust_supplement(hi, otl) >= expected_trust_supplement(lo, otl)
+
+
+class TestEtsTable:
+    def test_matrix_matches_scalar_function(self):
+        table = EtsTable()
+        for rtl in range(1, 7):
+            for otl in range(1, 6):
+                assert table.lookup(rtl, otl) == expected_trust_supplement(rtl, otl)
+
+    def test_matrix_is_read_only(self):
+        table = EtsTable()
+        with pytest.raises(ValueError):
+            table.matrix[0, 0] = 99
+
+    def test_lookup_many_vectorised(self):
+        table = EtsTable()
+        rtls = np.array([1, 6, 4])
+        otls = np.array([5, 5, 2])
+        assert table.lookup_many(rtls, otls).tolist() == [0, 6, 2]
+
+    def test_lookup_many_rejects_out_of_range(self):
+        table = EtsTable()
+        with pytest.raises(ValueError):
+            table.lookup_many(np.array([0]), np.array([1]))
+        with pytest.raises(ValueError):
+            table.lookup_many(np.array([1]), np.array([6]))
+
+    def test_lookup_rejects_offered_f(self):
+        with pytest.raises(ValueError):
+            EtsTable().lookup(TrustLevel.A, TrustLevel.F)
+
+    def test_no_override_table(self):
+        table = EtsTable(f_forces_max=False)
+        assert table.lookup("F", "E") == 1
+        assert table.lookup("F", "A") == 5
+
+    def test_render_has_paper_layout(self):
+        text = EtsTable().render()
+        lines = text.splitlines()
+        assert lines[0].startswith("requested TL")
+        # Six level rows + header + separator
+        assert len(lines) == 8
+        assert "F" in lines[-1]
+        assert "E - D" in text  # one representative supplement cell
+
+    def test_mean_trust_cost(self):
+        # Hand-computed mean of the canonical matrix: row sums 0,1,3,6,10,30.
+        assert EtsTable().mean_trust_cost == pytest.approx(50 / 30)

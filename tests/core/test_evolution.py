@@ -1,0 +1,117 @@
+"""Tests for repro.core.evolution and repro.core.update."""
+
+import pytest
+
+from repro.core.context import EXECUTION
+from repro.core.evolution import TransactionOutcome, TrustEvolver
+from repro.core.levels import TrustLevel
+from repro.core.tables import TrustRecord, TrustTable
+from repro.core.update import AlwaysPublish, HysteresisPolicy, MinEvidencePolicy
+
+
+def outcome(satisfaction: float, time: float) -> TransactionOutcome:
+    return TransactionOutcome(
+        truster="x", trustee="y", context=EXECUTION, satisfaction=satisfaction, time=time
+    )
+
+
+class TestTransactionOutcome:
+    def test_satisfaction_bounds(self):
+        with pytest.raises(ValueError):
+            outcome(1.5, 0.0)
+        with pytest.raises(ValueError):
+            outcome(-0.1, 0.0)
+
+    def test_self_transaction_rejected(self):
+        with pytest.raises(ValueError):
+            TransactionOutcome("x", "x", EXECUTION, 0.5, 0.0)
+
+
+class TestTrustEvolver:
+    def test_first_outcome_taken_verbatim(self):
+        evolver = TrustEvolver(table=TrustTable(), smoothing=0.3)
+        rec = evolver.observe(outcome(0.8, 1.0))
+        assert rec.value == pytest.approx(0.8)
+        assert rec.transaction_count == 1
+
+    def test_first_outcome_blended_with_initial_value(self):
+        evolver = TrustEvolver(table=TrustTable(), smoothing=0.5, initial_value=0.0)
+        rec = evolver.observe(outcome(1.0, 1.0))
+        assert rec.value == pytest.approx(0.5)
+
+    def test_ema_update(self):
+        evolver = TrustEvolver(table=TrustTable(), smoothing=0.5)
+        evolver.observe(outcome(1.0, 1.0))
+        rec = evolver.observe(outcome(0.0, 2.0))
+        assert rec.value == pytest.approx(0.5)
+        assert rec.transaction_count == 2
+
+    def test_good_behaviour_raises_trust_monotonically(self):
+        evolver = TrustEvolver(table=TrustTable(), smoothing=0.3)
+        evolver.observe(outcome(0.2, 0.0))
+        values = []
+        for t in range(1, 20):
+            values.append(evolver.observe(outcome(1.0, float(t))).value)
+        assert all(b >= a for a, b in zip(values, values[1:]))
+        assert values[-1] > 0.9
+
+    def test_out_of_order_outcomes_rejected(self):
+        evolver = TrustEvolver(table=TrustTable())
+        evolver.observe(outcome(0.5, 10.0))
+        with pytest.raises(ValueError, match="time order"):
+            evolver.observe(outcome(0.5, 9.0))
+
+    def test_score_recommendations_updates_weights(self):
+        evolver = TrustEvolver(table=TrustTable())
+        updated = evolver.score_recommendations(
+            outcome(1.0, 1.0), {"good": 1.0, "bad": 0.0, "x": 0.5}
+        )
+        assert set(updated) == {"good", "bad"}  # the truster itself is skipped
+        assert updated["good"] > updated["bad"]
+
+    @pytest.mark.parametrize("smoothing", [0.0, 1.5])
+    def test_bad_smoothing_rejected(self, smoothing):
+        with pytest.raises(ValueError):
+            TrustEvolver(table=TrustTable(), smoothing=smoothing)
+
+
+class TestPublicationPolicies:
+    def rec(self, value: float, count: int) -> TrustRecord:
+        return TrustRecord(value=value, last_transaction=0.0, transaction_count=count)
+
+    def test_always_publish_on_change(self):
+        policy = AlwaysPublish()
+        assert policy.should_publish(self.rec(0.9, 1), TrustLevel.A)
+        assert not policy.should_publish(self.rec(0.05, 1), TrustLevel.A)
+        assert policy.should_publish(self.rec(0.05, 1), None)
+
+    def test_min_evidence_blocks_early_publication(self):
+        policy = MinEvidencePolicy(min_transactions=5)
+        assert not policy.should_publish(self.rec(0.9, 4), TrustLevel.A)
+        assert policy.should_publish(self.rec(0.9, 5), TrustLevel.A)
+
+    def test_min_evidence_no_publish_without_change(self):
+        policy = MinEvidencePolicy(min_transactions=1)
+        assert not policy.should_publish(self.rec(0.05, 10), TrustLevel.A)
+
+    def test_hysteresis_needs_level_jump(self):
+        policy = HysteresisPolicy(min_level_delta=2)
+        # value 0.25 -> level B; published A: delta 1 < 2.
+        assert not policy.should_publish(self.rec(0.25, 1), TrustLevel.A)
+        # value 0.45 -> level C; delta 2 >= 2.
+        assert policy.should_publish(self.rec(0.45, 1), TrustLevel.A)
+
+    def test_hysteresis_publishes_first_value(self):
+        assert HysteresisPolicy().should_publish(self.rec(0.5, 1), None)
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: MinEvidencePolicy(min_transactions=0),
+            lambda: HysteresisPolicy(min_level_delta=0),
+            lambda: HysteresisPolicy(min_transactions=0),
+        ],
+    )
+    def test_bad_policy_parameters(self, factory):
+        with pytest.raises(ValueError):
+            factory()

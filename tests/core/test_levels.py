@@ -1,0 +1,71 @@
+"""Tests for repro.core.levels."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.levels import (
+    MAX_LEVEL,
+    MAX_OFFERED_LEVEL,
+    MIN_LEVEL,
+    TrustLevel,
+    offered_levels,
+    required_levels,
+)
+
+
+class TestTrustLevel:
+    def test_numeric_values_match_paper(self):
+        assert [int(l) for l in TrustLevel] == [1, 2, 3, 4, 5, 6]
+
+    def test_ordering(self):
+        assert TrustLevel.A < TrustLevel.B < TrustLevel.F
+
+    def test_subtraction_gives_level_distance(self):
+        assert TrustLevel.D - TrustLevel.B == 2
+
+    def test_from_value_accepts_level(self):
+        assert TrustLevel.from_value(TrustLevel.C) is TrustLevel.C
+
+    @pytest.mark.parametrize("raw,expected", [(1, TrustLevel.A), (6, TrustLevel.F)])
+    def test_from_value_accepts_int(self, raw, expected):
+        assert TrustLevel.from_value(raw) is expected
+
+    @pytest.mark.parametrize("raw", ["a", "A", " f ", "B"])
+    def test_from_value_accepts_strings_case_insensitively(self, raw):
+        assert TrustLevel.from_value(raw).name == raw.strip().upper()
+
+    @pytest.mark.parametrize("raw", [0, 7, -1, "G", "", "AA", None, 2.5])
+    def test_from_value_rejects_garbage(self, raw):
+        with pytest.raises(ValueError):
+            TrustLevel.from_value(raw)
+
+    def test_f_is_not_offerable(self):
+        assert not TrustLevel.F.is_offerable
+        assert all(l.is_offerable for l in TrustLevel if l is not TrustLevel.F)
+
+    def test_str_is_letter(self):
+        assert str(TrustLevel.E) == "E"
+
+
+class TestLevelRanges:
+    def test_bounds(self):
+        assert MIN_LEVEL is TrustLevel.A
+        assert MAX_LEVEL is TrustLevel.F
+        assert MAX_OFFERED_LEVEL is TrustLevel.E
+
+    def test_offered_levels_exclude_f(self):
+        assert list(offered_levels()) == [
+            TrustLevel.A,
+            TrustLevel.B,
+            TrustLevel.C,
+            TrustLevel.D,
+            TrustLevel.E,
+        ]
+
+    def test_required_levels_include_all(self):
+        assert list(required_levels()) == list(TrustLevel)
+
+    @given(st.integers(min_value=1, max_value=6))
+    def test_roundtrip_int(self, v):
+        assert int(TrustLevel.from_value(v)) == v

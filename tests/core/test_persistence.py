@@ -1,0 +1,89 @@
+"""Tests for trust-state persistence."""
+
+import pytest
+
+from repro.core.context import EXECUTION, STORAGE, TrustContext
+from repro.core.persistence import (
+    load_trust_state,
+    save_trust_state,
+    trust_table_from_dict,
+    trust_table_to_dict,
+)
+from repro.core.recommender import RecommenderWeights
+from repro.core.tables import TrustTable
+from repro.errors import TrustModelError
+
+
+@pytest.fixture
+def table() -> TrustTable:
+    t = TrustTable()
+    t.record("cd:0", "rd:1", EXECUTION, 0.8, time=5.0, transaction_count=3)
+    t.record("cd:0", "rd:2", STORAGE, 0.3, time=7.0)
+    t.record("rd:1", "cd:0", EXECUTION, 0.6, time=9.0)
+    return t
+
+
+class TestRoundTrip:
+    def test_entries_survive(self, table):
+        rebuilt = trust_table_from_dict(trust_table_to_dict(table))
+        assert len(rebuilt) == len(table)
+        rec = rebuilt.get("cd:0", "rd:1", EXECUTION)
+        assert rec.value == 0.8
+        assert rec.last_transaction == 5.0
+        assert rec.transaction_count == 3
+
+    def test_contexts_match_by_name(self, table):
+        rebuilt = trust_table_from_dict(trust_table_to_dict(table))
+        # A freshly constructed context with the same name resolves.
+        assert rebuilt.get("cd:0", "rd:2", TrustContext("store")) is not None
+
+    def test_file_round_trip(self, table, tmp_path):
+        path = save_trust_state(tmp_path / "trust.json", table)
+        rebuilt = load_trust_state(path)
+        assert rebuilt.get("rd:1", "cd:0", EXECUTION).value == 0.6
+
+    def test_weights_round_trip(self, table, tmp_path):
+        weights = RecommenderWeights(learning_rate=0.5)
+        weights.observe_outcome("cd:0", 1.0, 0.0)
+        path = save_trust_state(tmp_path / "t.json", table, weights)
+        restored = RecommenderWeights()
+        load_trust_state(path, restored)
+        assert restored.accuracy("cd:0") == pytest.approx(weights.accuracy("cd:0"))
+
+
+class TestValidation:
+    def test_non_string_entities_rejected(self):
+        t = TrustTable()
+        t.record(0, 1, EXECUTION, 0.5, time=1.0)
+        with pytest.raises(TrustModelError, match="string"):
+            trust_table_to_dict(t)
+
+    def test_unknown_version_rejected(self, table):
+        data = trust_table_to_dict(table)
+        data["format_version"] = 99
+        with pytest.raises(TrustModelError, match="version"):
+            trust_table_from_dict(data)
+
+
+class TestSessionCheckpoint:
+    def test_session_trust_state_resumable(self, tmp_path):
+        """Checkpoint a session's internal table and resume it."""
+        from repro.grid import BehaviorModel, GridSession
+        from repro.scheduling import TrustPolicy
+        from repro.workloads import ScenarioSpec, materialize
+
+        grid = materialize(ScenarioSpec(cd_range=(2, 2), rd_range=(2, 2)), seed=1).grid
+        session = GridSession(
+            grid=grid,
+            behavior=BehaviorModel.uniform(0.9),
+            policy=TrustPolicy.aware(),
+            seed=4,
+        )
+        session.run(rounds=2, requests_per_round=15)
+        path = save_trust_state(tmp_path / "ckpt.json", session.fleet.internal_table)
+        restored = load_trust_state(path)
+        assert len(restored) == len(session.fleet.internal_table)
+        for key, rec in session.fleet.internal_table.items():
+            other = restored.get(*key)
+            assert other is not None
+            assert other.value == pytest.approx(rec.value)

@@ -1,0 +1,105 @@
+"""Tests for repro.core.recommender (alliances and R factors)."""
+
+import pytest
+
+from repro.core.recommender import AllianceRegistry, RecommenderWeights
+
+
+class TestAllianceRegistry:
+    def test_members_of_group_are_allied(self):
+        reg = AllianceRegistry()
+        reg.declare("axis", ["a", "b", "c"])
+        assert reg.allied("a", "b")
+        assert reg.allied("c", "a")
+
+    def test_non_members_not_allied(self):
+        reg = AllianceRegistry()
+        reg.declare("axis", ["a", "b"])
+        assert not reg.allied("a", "z")
+
+    def test_self_always_allied(self):
+        assert AllianceRegistry().allied("a", "a")
+
+    def test_declare_extends(self):
+        reg = AllianceRegistry()
+        reg.declare("g", ["a"])
+        reg.declare("g", ["b"])
+        assert reg.allied("a", "b")
+
+    def test_multiple_groups(self):
+        reg = AllianceRegistry()
+        reg.declare("g1", ["a", "b"])
+        reg.declare("g2", ["b", "c"])
+        assert reg.allied("a", "b") and reg.allied("b", "c")
+        assert not reg.allied("a", "c")  # alliance is not transitive across groups
+        assert reg.allies_of("b") == {"a", "c"}
+
+    def test_dissolve(self):
+        reg = AllianceRegistry()
+        reg.declare("g", ["a", "b"])
+        reg.dissolve("g")
+        assert not reg.allied("a", "b")
+        with pytest.raises(KeyError):
+            reg.dissolve("g")
+
+    def test_groups_listing(self):
+        reg = AllianceRegistry()
+        reg.declare("g1", ["a"])
+        reg.declare("g2", ["b"])
+        assert reg.groups() == {"g1", "g2"}
+
+
+class TestRecommenderWeights:
+    def test_default_factor_is_full(self):
+        assert RecommenderWeights().factor("z", "y") == 1.0
+
+    def test_allied_recommendation_discounted(self):
+        reg = AllianceRegistry()
+        reg.declare("cartel", ["z", "y"])
+        weights = RecommenderWeights(alliances=reg, ally_weight=0.5)
+        assert weights.factor("z", "y") == 0.5
+        assert weights.factor("z", "other") == 1.0
+
+    def test_accurate_recommender_keeps_weight(self):
+        w = RecommenderWeights(learning_rate=0.5)
+        w.observe_outcome("z", predicted=0.8, actual=0.8)
+        assert w.accuracy("z") == pytest.approx(1.0)
+
+    def test_inaccurate_recommender_loses_weight(self):
+        w = RecommenderWeights(learning_rate=0.5)
+        updated = w.observe_outcome("z", predicted=1.0, actual=0.0)
+        assert updated == pytest.approx(0.5)
+        assert w.factor("z", "y") == pytest.approx(0.5)
+
+    def test_learning_is_ema(self):
+        w = RecommenderWeights(learning_rate=0.1, default_accuracy=1.0)
+        w.observe_outcome("z", 1.0, 0.0)  # sample 0.0
+        assert w.accuracy("z") == pytest.approx(0.9)
+        w.observe_outcome("z", 1.0, 1.0)  # sample 1.0
+        assert w.accuracy("z") == pytest.approx(0.91)
+
+    def test_alliance_and_accuracy_compose(self):
+        reg = AllianceRegistry()
+        reg.declare("g", ["z", "y"])
+        w = RecommenderWeights(alliances=reg, ally_weight=0.5, learning_rate=1.0)
+        w.observe_outcome("z", 1.0, 0.5)  # accuracy 0.5
+        assert w.factor("z", "y") == pytest.approx(0.25)
+
+    @pytest.mark.parametrize("pred,actual", [(-0.1, 0.5), (0.5, 1.1)])
+    def test_outcome_bounds_checked(self, pred, actual):
+        with pytest.raises(ValueError):
+            RecommenderWeights().observe_outcome("z", pred, actual)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"ally_weight": -0.1},
+            {"ally_weight": 1.1},
+            {"default_accuracy": 2.0},
+            {"learning_rate": 0.0},
+            {"learning_rate": 1.5},
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RecommenderWeights(**kwargs)

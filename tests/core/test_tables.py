@@ -1,0 +1,115 @@
+"""Tests for repro.core.tables (DTT/RTT) and level/value conversion."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.context import EXECUTION, STORAGE
+from repro.core.levels import TrustLevel
+from repro.core.tables import TrustRecord, TrustTable, level_to_value, value_to_level
+from repro.errors import UnknownEntityError
+
+
+class TestConversions:
+    @pytest.mark.parametrize(
+        "value,level",
+        [(0.0, TrustLevel.A), (0.17, TrustLevel.B), (0.5, TrustLevel.D), (1.0, TrustLevel.F)],
+    )
+    def test_value_to_level(self, value, level):
+        assert value_to_level(value) is level
+
+    def test_value_out_of_range(self):
+        with pytest.raises(ValueError):
+            value_to_level(1.2)
+        with pytest.raises(ValueError):
+            value_to_level(-0.1)
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_value_to_level_total(self, v):
+        assert value_to_level(v) in TrustLevel
+
+    @pytest.mark.parametrize("level", list(TrustLevel))
+    def test_roundtrip_through_midpoint(self, level):
+        assert value_to_level(level_to_value(level)) is level
+
+
+class TestTrustRecord:
+    def test_level_property(self):
+        rec = TrustRecord(value=0.9, last_transaction=10.0)
+        assert rec.level is TrustLevel.F
+
+    def test_invalid_value_rejected(self):
+        with pytest.raises(ValueError):
+            TrustRecord(value=1.5, last_transaction=0.0)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            TrustRecord(value=0.5, last_transaction=0.0, transaction_count=-1)
+
+
+class TestTrustTable:
+    def test_record_and_get(self):
+        table = TrustTable()
+        table.record("x", "y", EXECUTION, 0.8, time=5.0)
+        rec = table.get("x", "y", EXECUTION)
+        assert rec is not None
+        assert rec.value == 0.8
+        assert rec.last_transaction == 5.0
+
+    def test_get_missing_returns_none(self):
+        assert TrustTable().get("x", "y", EXECUTION) is None
+
+    def test_require_missing_raises(self):
+        with pytest.raises(UnknownEntityError):
+            TrustTable().require("x", "y", EXECUTION)
+
+    def test_contexts_are_independent(self):
+        table = TrustTable()
+        table.record("x", "y", EXECUTION, 0.9, time=1.0)
+        table.record("x", "y", STORAGE, 0.1, time=1.0)
+        assert table.get("x", "y", EXECUTION).value == 0.9
+        assert table.get("x", "y", STORAGE).value == 0.1
+
+    def test_self_trust_rejected(self):
+        with pytest.raises(ValueError, match="itself"):
+            TrustTable().record("x", "x", EXECUTION, 0.5, time=0.0)
+
+    def test_overwrite_replaces(self):
+        table = TrustTable()
+        table.record("x", "y", EXECUTION, 0.2, time=1.0)
+        table.record("x", "y", EXECUTION, 0.7, time=2.0)
+        assert table.get("x", "y", EXECUTION).value == 0.7
+        assert len(table) == 1
+
+    def test_remove(self):
+        table = TrustTable()
+        table.record("x", "y", EXECUTION, 0.2, time=1.0)
+        table.remove("x", "y", EXECUTION)
+        assert table.get("x", "y", EXECUTION) is None
+        with pytest.raises(KeyError):
+            table.remove("x", "y", EXECUTION)
+
+    def test_recommenders_exclude_asker_and_other_targets(self):
+        table = TrustTable()
+        table.record("a", "y", EXECUTION, 0.5, time=1.0)
+        table.record("b", "y", EXECUTION, 0.6, time=1.0)
+        table.record("c", "z", EXECUTION, 0.7, time=1.0)  # different target
+        table.record("x", "y", EXECUTION, 0.8, time=1.0)  # the asker's own view
+        got = dict(
+            (z, rec.value) for z, rec in table.recommenders("y", EXECUTION, excluding="x")
+        )
+        assert got == {"a": 0.5, "b": 0.6}
+
+    def test_entities_tracks_both_sides(self):
+        table = TrustTable()
+        table.record("x", "y", EXECUTION, 0.5, time=1.0)
+        assert table.entities() == {"x", "y"}
+
+    def test_iteration_and_items(self):
+        table = TrustTable()
+        table.record("x", "y", EXECUTION, 0.5, time=1.0)
+        keys = list(table)
+        assert keys == [("x", "y", EXECUTION)]
+        items = list(table.items())
+        assert items[0][0] == ("x", "y", EXECUTION)
+        assert ("x", "y", EXECUTION) in table

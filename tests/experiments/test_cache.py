@@ -1,0 +1,85 @@
+"""Tests for the experiment cell cache."""
+
+import pytest
+
+from repro.experiments.cache import CellCache, cell_key
+from repro.experiments.runner import run_paired_cell
+from repro.scheduling.policy import SecurityAccounting, TrustPolicy
+from repro.workloads.scenario import ScenarioSpec
+
+SPEC = ScenarioSpec(n_tasks=8, target_load=3.0)
+AWARE = TrustPolicy.aware()
+UNAWARE = TrustPolicy.unaware()
+
+
+def key_for(**overrides):
+    args = dict(
+        spec=SPEC,
+        heuristic="mct",
+        aware=AWARE,
+        unaware=UNAWARE,
+        replications=3,
+        base_seed=0,
+        batch_interval=None,
+    )
+    args.update(overrides)
+    return cell_key(**args)
+
+
+class TestCellKey:
+    def test_stable(self):
+        assert key_for() == key_for()
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"heuristic": "olb"},
+            {"replications": 4},
+            {"base_seed": 1},
+            {"batch_interval": 100.0},
+            {"spec": ScenarioSpec(n_tasks=9, target_load=3.0)},
+            {"aware": TrustPolicy.aware(tc_weight=10.0)},
+            {"unaware": TrustPolicy.unaware(accounting=SecurityAccounting.PAIR_REALIZED)},
+        ],
+    )
+    def test_every_input_changes_the_key(self, overrides):
+        assert key_for(**overrides) != key_for()
+
+
+class TestCellCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = CellCache(tmp_path / "cells")
+        key = key_for()
+        assert cache.get(key) is None
+        first = cache.run_paired_cell(
+            SPEC, "mct", AWARE, UNAWARE, replications=3
+        )
+        assert cache.get(key) is not None
+        second = cache.run_paired_cell(
+            SPEC, "mct", AWARE, UNAWARE, replications=3
+        )
+        assert second.aware_samples == first.aware_samples
+        assert second.improvement.mean == pytest.approx(first.improvement.mean)
+
+    def test_cached_equals_direct(self, tmp_path):
+        cache = CellCache(tmp_path / "cells")
+        cached = cache.run_paired_cell(SPEC, "mct", AWARE, UNAWARE, replications=3)
+        direct = run_paired_cell(SPEC, "mct", AWARE, UNAWARE, replications=3)
+        assert cached.aware_samples == direct.aware_samples
+        assert cached.unaware_samples == direct.unaware_samples
+        assert cached.improvement.variance == pytest.approx(direct.improvement.variance)
+
+    def test_round_trip_preserves_stats(self, tmp_path):
+        cache = CellCache(tmp_path / "cells")
+        cell = run_paired_cell(SPEC, "mct", AWARE, UNAWARE, replications=4)
+        cache.put("k", cell)
+        back = cache.get("k")
+        assert back.aware_completion.mean == pytest.approx(cell.aware_completion.mean)
+        assert back.aware_completion.stddev == pytest.approx(cell.aware_completion.stddev)
+        assert back.significance().p_value == pytest.approx(cell.significance().p_value)
+
+    def test_corrupt_entry_treated_as_miss(self, tmp_path):
+        cache = CellCache(tmp_path / "cells")
+        cache.directory.mkdir(parents=True)
+        (cache.directory / "bad.json").write_text('{"heuristic": "mct"}')
+        assert cache.get("bad") is None

@@ -1,0 +1,61 @@
+"""Tests for the parallel experiment runner."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.parallel import run_paired_cell_parallel
+from repro.experiments.runner import run_paired_cell
+from repro.scheduling.policy import TrustPolicy
+from repro.workloads.scenario import ScenarioSpec
+
+SPEC = ScenarioSpec(n_tasks=10, target_load=3.0)
+AWARE = TrustPolicy.aware()
+UNAWARE = TrustPolicy.unaware()
+
+
+class TestParallelRunner:
+    def test_matches_sequential_exactly(self):
+        kwargs = dict(replications=6, base_seed=11)
+        seq = run_paired_cell(SPEC, "mct", AWARE, UNAWARE, **kwargs)
+        par = run_paired_cell_parallel(SPEC, "mct", AWARE, UNAWARE, workers=3, **kwargs)
+        assert par.aware_samples == seq.aware_samples
+        assert par.unaware_samples == seq.unaware_samples
+        assert par.improvement.mean == pytest.approx(seq.improvement.mean)
+        assert par.aware_utilization.mean == pytest.approx(seq.aware_utilization.mean)
+
+    def test_small_cells_fall_back_to_sequential(self):
+        cell = run_paired_cell_parallel(
+            SPEC, "mct", AWARE, UNAWARE, replications=2, workers=4
+        )
+        assert cell.replications == 2
+
+    def test_single_worker_falls_back(self):
+        cell = run_paired_cell_parallel(
+            SPEC, "mct", AWARE, UNAWARE, replications=6, workers=1
+        )
+        assert cell.replications == 6
+
+    def test_batch_heuristic(self):
+        cell = run_paired_cell_parallel(
+            SPEC,
+            "min-min",
+            AWARE,
+            UNAWARE,
+            replications=4,
+            batch_interval=200.0,
+            workers=2,
+        )
+        assert cell.heuristic == "min-min"
+        assert len(cell.aware_samples) == 4
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            run_paired_cell_parallel(SPEC, "mct", AWARE, UNAWARE, replications=0)
+        with pytest.raises(ConfigurationError):
+            run_paired_cell_parallel(
+                SPEC, "mct", UNAWARE, UNAWARE, replications=4
+            )
+        with pytest.raises(ConfigurationError):
+            run_paired_cell_parallel(
+                SPEC, "mct", AWARE, UNAWARE, replications=4, workers=0
+            )

@@ -1,0 +1,76 @@
+"""Tests for the paired-replication experiment runner."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.runner import run_paired_cell, run_single
+from repro.scheduling.policy import TrustPolicy
+from repro.workloads.scenario import ScenarioSpec
+
+SPEC = ScenarioSpec(n_tasks=10, target_load=3.0)
+
+
+class TestRunSingle:
+    def test_immediate_heuristic(self):
+        result = run_single(SPEC, "mct", TrustPolicy.aware(), seed=0)
+        assert len(result) == 10
+        assert result.heuristic == "mct"
+
+    def test_batch_heuristic_uses_interval(self):
+        result = run_single(
+            SPEC, "min-min", TrustPolicy.aware(), seed=0, batch_interval=100.0
+        )
+        assert len(result) == 10
+        assert all(r.mapped_time % 100.0 == 0 for r in result.records)
+
+    def test_interval_ignored_for_immediate(self):
+        result = run_single(
+            SPEC, "mct", TrustPolicy.aware(), seed=0, batch_interval=100.0
+        )
+        assert result.heuristic == "mct"
+
+
+class TestRunPairedCell:
+    def test_aggregates_replications(self):
+        cell = run_paired_cell(
+            SPEC,
+            "mct",
+            TrustPolicy.aware(),
+            TrustPolicy.unaware(),
+            replications=5,
+        )
+        assert cell.replications == 5
+        assert cell.improvement.count == 5
+        assert cell.aware_completion.count == 5
+        assert cell.n_tasks == 10
+
+    def test_deterministic_given_base_seed(self):
+        kwargs = dict(replications=3, base_seed=42)
+        a = run_paired_cell(SPEC, "mct", TrustPolicy.aware(), TrustPolicy.unaware(), **kwargs)
+        b = run_paired_cell(SPEC, "mct", TrustPolicy.aware(), TrustPolicy.unaware(), **kwargs)
+        assert a.improvement.mean == b.improvement.mean
+        assert a.unaware_completion.mean == b.unaware_completion.mean
+
+    def test_policy_pair_validated(self):
+        with pytest.raises(ConfigurationError):
+            run_paired_cell(
+                SPEC, "mct", TrustPolicy.unaware(), TrustPolicy.unaware(), replications=1
+            )
+
+    def test_replications_validated(self):
+        with pytest.raises(ConfigurationError):
+            run_paired_cell(
+                SPEC, "mct", TrustPolicy.aware(), TrustPolicy.unaware(), replications=0
+            )
+
+    def test_batch_heuristic_cell(self):
+        cell = run_paired_cell(
+            SPEC,
+            "sufferage",
+            TrustPolicy.aware(),
+            TrustPolicy.unaware(),
+            replications=2,
+            batch_interval=200.0,
+        )
+        assert cell.heuristic == "sufferage"
+        assert cell.replications == 2

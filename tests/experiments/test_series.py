@@ -1,0 +1,91 @@
+"""Tests for series generation and ASCII charts."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.series import (
+    Series,
+    SeriesPoint,
+    ascii_chart,
+    improvement_vs_batch_interval,
+    improvement_vs_load,
+    improvement_vs_machines,
+)
+
+
+class TestSeriesStructure:
+    def test_points_must_be_sorted(self):
+        with pytest.raises(ConfigurationError):
+            Series("x", (SeriesPoint(2.0, 0.1), SeriesPoint(1.0, 0.2)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Series("x", ())
+
+    def test_accessors(self):
+        s = Series("x", (SeriesPoint(1.0, 0.1), SeriesPoint(2.0, 0.3)))
+        assert s.xs == [1.0, 2.0]
+        assert s.ys == [0.1, 0.3]
+
+
+class TestGenerators:
+    def test_improvement_vs_load_rises(self):
+        s = improvement_vs_load(loads=(0.5, 4.0), replications=4)
+        assert len(s.points) == 2
+        assert s.points[-1].y > s.points[0].y
+        assert all(p.ci >= 0 for p in s.points)
+
+    def test_improvement_vs_machines(self):
+        s = improvement_vs_machines(machine_counts=(3, 6), replications=3)
+        assert s.xs == [3.0, 6.0]
+
+    def test_improvement_vs_batch_interval_falls(self):
+        s = improvement_vs_batch_interval(intervals=(150.0, 1200.0), replications=4)
+        # Bigger batches strengthen the unaware baseline -> smaller gain.
+        assert s.points[0].y > s.points[-1].y
+
+
+class TestAsciiChart:
+    @pytest.fixture
+    def series(self):
+        return Series(
+            "demo",
+            (
+                SeriesPoint(0.0, 0.10, ci=0.02),
+                SeriesPoint(1.0, 0.25, ci=0.01),
+                SeriesPoint(2.0, 0.35, ci=0.03),
+            ),
+        )
+
+    def test_chart_contains_marks_and_label(self, series):
+        chart = ascii_chart(series)
+        assert "demo" in chart
+        assert "*" in chart
+        assert "·" in chart
+
+    def test_chart_dimensions(self, series):
+        chart = ascii_chart(series, width=40, height=8)
+        lines = chart.splitlines()
+        # label + height rows + axis + x labels
+        assert len(lines) == 1 + 8 + 2
+
+    def test_flat_series_renders(self):
+        s = Series("flat", (SeriesPoint(0.0, 0.2), SeriesPoint(1.0, 0.2)))
+        assert "*" in ascii_chart(s)
+
+    def test_single_point_renders(self):
+        s = Series("one", (SeriesPoint(0.0, 0.2),))
+        assert "*" in ascii_chart(s)
+
+    def test_bad_dimensions_rejected(self, series):
+        with pytest.raises(ConfigurationError):
+            ascii_chart(series, width=5)
+        with pytest.raises(ConfigurationError):
+            ascii_chart(series, height=2)
+
+    def test_cli_series(self, capsys):
+        from repro.cli import main
+
+        assert main(["series", "machines", "--replications", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "improvement vs machines" in out

@@ -1,0 +1,41 @@
+"""Tests for the codified acceptance checks."""
+
+import pytest
+
+from repro.experiments.validation import CheckResult, validate_reproduction
+
+
+@pytest.fixture(scope="module")
+def checks():
+    return validate_reproduction(replications=4)
+
+
+class TestValidateReproduction:
+    def test_all_checks_pass(self, checks):
+        failed = [c for c in checks if not c.passed]
+        assert not failed, "; ".join(str(c) for c in failed)
+
+    def test_expected_check_names(self, checks):
+        names = {c.name for c in checks}
+        assert names == {
+            "trust-aware-wins",
+            "minmin-gains-least",
+            "mct-high-utilization",
+            "scp-overhead-negates-fast-network",
+            "sfi-ordering",
+        }
+
+    def test_details_are_informative(self, checks):
+        for check in checks:
+            assert check.detail
+
+    def test_str_rendering(self):
+        assert str(CheckResult("x", True, "ok")) == "[PASS] x: ok"
+        assert str(CheckResult("x", False, "bad")).startswith("[FAIL]")
+
+    def test_cli_validate(self, capsys):
+        from repro.cli import main
+
+        assert main(["validate", "--replications", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "[PASS] trust-aware-wins" in out

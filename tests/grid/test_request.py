@@ -1,0 +1,74 @@
+"""Tests for repro.grid.request."""
+
+import pytest
+
+from repro.core.levels import TrustLevel
+from repro.grid.activities import ActivityCatalog, ActivitySet
+from repro.grid.client import Client
+from repro.grid.domain import ClientDomain, GridDomain
+from repro.grid.request import MetaRequest, Request, Task
+
+
+@pytest.fixture
+def client() -> Client:
+    cd = ClientDomain(index=2, grid_domain=GridDomain(0, "org"), required_level=TrustLevel.B)
+    return Client(index=0, client_domain=cd)
+
+
+@pytest.fixture
+def catalog() -> ActivityCatalog:
+    return ActivityCatalog.default(4)
+
+
+def make_request(client, catalog, index=0, arrival=1.0) -> Request:
+    task = Task(index=index, activities=ActivitySet.of(catalog.by_index(0)))
+    return Request(index=index, client=client, task=task, arrival_time=arrival)
+
+
+class TestRequest:
+    def test_client_domain_index(self, client, catalog):
+        req = make_request(client, catalog)
+        assert req.client_domain_index == 2
+
+    def test_negative_arrival_rejected(self, client, catalog):
+        with pytest.raises(ValueError):
+            make_request(client, catalog, arrival=-1.0)
+
+    def test_task_index_validation(self, catalog):
+        with pytest.raises(ValueError):
+            Task(index=-1, activities=ActivitySet.of(catalog.by_index(0)))
+
+
+class TestMetaRequest:
+    def test_of_sorts_by_arrival(self, client, catalog):
+        reqs = [
+            make_request(client, catalog, index=0, arrival=5.0),
+            make_request(client, catalog, index=1, arrival=2.0),
+        ]
+        meta = MetaRequest.of(reqs, formed_at=10.0)
+        assert [r.index for r in meta] == [1, 0]
+        assert len(meta) == 2
+        assert not meta.is_empty
+
+    def test_late_arrival_rejected(self, client, catalog):
+        late = make_request(client, catalog, arrival=11.0)
+        with pytest.raises(ValueError, match="after the batch"):
+            MetaRequest.of([late], formed_at=10.0)
+
+    def test_arrival_exactly_at_boundary_allowed(self, client, catalog):
+        boundary = make_request(client, catalog, arrival=10.0)
+        meta = MetaRequest.of([boundary], formed_at=10.0)
+        assert len(meta) == 1
+
+    def test_empty_batch(self):
+        meta = MetaRequest.of([], formed_at=5.0)
+        assert meta.is_empty
+        assert len(meta) == 0
+
+    def test_tie_broken_by_index(self, client, catalog):
+        reqs = [
+            make_request(client, catalog, index=3, arrival=1.0),
+            make_request(client, catalog, index=1, arrival=1.0),
+        ]
+        meta = MetaRequest.of(reqs, formed_at=2.0)
+        assert [r.index for r in meta] == [1, 3]

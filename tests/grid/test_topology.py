@@ -1,0 +1,85 @@
+"""Tests for repro.grid.topology (Grid + GridBuilder)."""
+
+import numpy as np
+import pytest
+
+from repro.core.ets import EtsTable
+from repro.core.levels import TrustLevel
+from repro.errors import ConfigurationError
+from repro.grid.activities import ActivityCatalog
+from repro.grid.topology import GridBuilder
+
+
+class TestGridBuilder:
+    def test_small_grid_shape(self, small_grid):
+        assert small_grid.n_machines == 3
+        assert len(small_grid.client_domains) == 2
+        assert len(small_grid.resource_domains) == 2
+        assert small_grid.trust_table.shape == (2, 2, 3)
+
+    def test_index_arrays(self, small_grid):
+        assert small_grid.machine_rd.tolist() == [0, 0, 1]
+        assert small_grid.client_cd.tolist() == [0, 1]
+        assert small_grid.rd_required.tolist() == [2, 4]  # B, D
+        assert small_grid.cd_required.tolist() == [3, 1]  # C, A
+
+    def test_build_requires_both_domain_kinds(self):
+        builder = GridBuilder(ActivityCatalog.default(2))
+        gd = builder.grid_domain("x")
+        builder.resource_domain(gd, required_level="A")
+        with pytest.raises(ConfigurationError):
+            builder.build()
+
+    def test_empty_catalog_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GridBuilder(ActivityCatalog([]))
+
+    def test_grid_needs_machines_and_clients(self):
+        builder = GridBuilder(ActivityCatalog.default(2))
+        gd = builder.grid_domain("x")
+        builder.resource_domain(gd, required_level="A")
+        builder.client_domain(gd, required_level="A")
+        with pytest.raises(ConfigurationError, match="machine"):
+            builder.build()
+
+    def test_custom_ets_passed_to_table(self):
+        builder = GridBuilder(ActivityCatalog.default(1))
+        gd = builder.grid_domain("x")
+        rd = builder.resource_domain(gd, required_level="A")
+        cd = builder.client_domain(gd, required_level="A")
+        builder.machine(rd)
+        builder.client(cd)
+        grid = builder.build(ets=EtsTable(f_forces_max=False))
+        assert grid.trust_table.ets.f_forces_max is False
+
+    def test_rd_defaults_to_full_catalog(self):
+        catalog = ActivityCatalog.default(3)
+        builder = GridBuilder(catalog)
+        gd = builder.grid_domain("x")
+        rd = builder.resource_domain(gd, required_level="A")
+        assert rd.supported_activities == frozenset(catalog)
+
+
+class TestGridQueries:
+    def test_required_per_rd_is_pairwise_max(self, small_grid):
+        # cd0 requires C(3); RDs require B(2) and D(4).
+        assert small_grid.required_per_rd(0).tolist() == [3, 4]
+        # cd1 requires A(1).
+        assert small_grid.required_per_rd(1).tolist() == [2, 4]
+
+    def test_required_per_rd_bounds(self, small_grid):
+        with pytest.raises(ConfigurationError):
+            small_grid.required_per_rd(2)
+
+    def test_trust_cost_per_machine_expands_rds(self, small_grid):
+        # Set OTLs: cd0 x rd0 -> E, cd0 x rd1 -> A for activity 0.
+        small_grid.trust_table.set(0, 0, 0, "E")
+        small_grid.trust_table.set(0, 1, 0, "A")
+        costs = small_grid.trust_cost_per_machine(0, [0])
+        # machines 0,1 in rd0: RTL=C(3) vs OTL E(5) -> 0; machine 2 in rd1:
+        # RTL=D(4) vs OTL A(1) -> 3.
+        assert costs.tolist() == [0, 0, 3]
+
+    def test_machine_rd_mapping_consistent(self, small_grid):
+        for m in small_grid.machines:
+            assert small_grid.machine_rd[m.index] == m.resource_domain.index

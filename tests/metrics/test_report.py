@@ -1,0 +1,45 @@
+"""Tests for the table renderer."""
+
+import pytest
+
+from repro.metrics.report import Table, format_percent, format_seconds
+
+
+class TestFormatters:
+    def test_format_seconds_thousands_separator(self):
+        assert format_seconds(5817.38) == "5,817.38"
+
+    def test_format_percent(self):
+        assert format_percent(0.3699) == "36.99%"
+        assert format_percent(1.37, digits=0) == "137%"
+
+
+class TestTable:
+    def test_render_aligns_columns(self):
+        t = Table(headers=["a", "bbb"], title="caption")
+        t.add_row(1, 2)
+        t.add_row(100, 20000)
+        text = t.render()
+        lines = text.splitlines()
+        assert lines[0] == "caption"
+        assert all(len(l) == len(lines[1]) for l in lines[1:])
+        assert "20000" in text
+
+    def test_cell_count_checked(self):
+        t = Table(headers=["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValueError):
+            Table(headers=[])
+
+    def test_render_without_rows(self):
+        t = Table(headers=["x"])
+        assert "x" in t.render()
+        assert len(t) == 0
+
+    def test_str_is_render(self):
+        t = Table(headers=["x"])
+        t.add_row("v")
+        assert str(t) == t.render()

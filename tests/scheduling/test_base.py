@@ -1,0 +1,67 @@
+"""Tests for the heuristic base helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NoFeasibleMachineError
+from repro.grid.activities import ActivitySet
+from repro.grid.request import Request, Task
+from repro.scheduling.base import BatchHeuristic, PlannedAssignment, check_avail
+from repro.scheduling.costs import CostProvider
+from repro.scheduling.policy import TrustPolicy
+
+
+class TestCheckAvail:
+    def test_valid_vector_passes_through(self):
+        out = check_avail(np.array([1.0, 2.0]), 2)
+        np.testing.assert_allclose(out, [1.0, 2.0])
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(NoFeasibleMachineError):
+            check_avail(np.zeros(3), 2)
+        with pytest.raises(NoFeasibleMachineError):
+            check_avail(np.zeros((2, 2)), 2)
+
+    def test_negative_times_rejected(self):
+        with pytest.raises(NoFeasibleMachineError):
+            check_avail(np.array([1.0, -0.1]), 2)
+
+    def test_zero_machines_rejected(self):
+        with pytest.raises(NoFeasibleMachineError):
+            check_avail(np.zeros(0), 0)
+
+    def test_list_input_coerced(self):
+        out = check_avail([0.0, 5.0], 2)
+        assert isinstance(out, np.ndarray)
+
+
+class TestMappingMatrix:
+    def test_rows_follow_request_order(self, small_grid):
+        small_grid.trust_table.fill_from(np.full((2, 2, 3), 5, dtype=np.int64))
+        small_grid.cd_required[:] = 1
+        small_grid.rd_required[:] = 1
+        eec = np.array([[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]])
+        costs = CostProvider(small_grid, eec, TrustPolicy.aware())
+        reqs = []
+        for i in range(2):
+            task = Task(index=i, activities=ActivitySet.of(small_grid.catalog.by_index(0)))
+            reqs.append(
+                Request(index=i, client=small_grid.clients[0], task=task, arrival_time=0.0)
+            )
+        matrix = BatchHeuristic.mapping_matrix(list(reversed(reqs)), costs)
+        np.testing.assert_allclose(matrix[0], [4.0, 5.0, 6.0])
+        np.testing.assert_allclose(matrix[1], [1.0, 2.0, 3.0])
+
+    def test_empty_batch_shape(self, small_grid):
+        costs = CostProvider(small_grid, np.ones((1, 3)), TrustPolicy.aware())
+        matrix = BatchHeuristic.mapping_matrix([], costs)
+        assert matrix.shape == (0, 3)
+
+
+class TestPlannedAssignment:
+    def test_fields(self, small_grid):
+        task = Task(index=0, activities=ActivitySet.of(small_grid.catalog.by_index(0)))
+        req = Request(index=0, client=small_grid.clients[0], task=task, arrival_time=0.0)
+        pa = PlannedAssignment(request=req, machine_index=1, order=0)
+        assert pa.machine_index == 1
+        assert pa.request is req

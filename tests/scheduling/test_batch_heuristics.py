@@ -1,0 +1,165 @@
+"""Tests for the batch heuristics: Min-min, Max-min, Sufferage, Duplex."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid.activities import ActivitySet
+from repro.grid.request import Request, Task
+from repro.scheduling.costs import CostProvider
+from repro.scheduling.duplex import DuplexHeuristic
+from repro.scheduling.maxmin import MaxMinHeuristic
+from repro.scheduling.minmin import MinMinHeuristic
+from repro.scheduling.policy import TrustPolicy
+from repro.scheduling.sufferage import SufferageHeuristic
+
+BATCH_HEURISTICS = [MinMinHeuristic, MaxMinHeuristic, SufferageHeuristic, DuplexHeuristic]
+
+
+def make_costs(grid, eec: np.ndarray) -> CostProvider:
+    """Uniform full trust so the EEC matrix alone drives decisions."""
+    n_cd, n_rd, n_act = grid.trust_table.shape
+    grid.trust_table.fill_from(np.full((n_cd, n_rd, n_act), 5, dtype=np.int64))
+    grid.cd_required[:] = 1
+    grid.rd_required[:] = 1
+    return CostProvider(grid=grid, eec=np.asarray(eec, dtype=float), policy=TrustPolicy.aware())
+
+
+def make_requests(grid, n: int) -> list[Request]:
+    reqs = []
+    for i in range(n):
+        task = Task(index=i, activities=ActivitySet.of(grid.catalog.by_index(0)))
+        reqs.append(Request(index=i, client=grid.clients[0], task=task, arrival_time=0.0))
+    return reqs
+
+
+def plan_makespan(plan, costs, avail):
+    alpha = np.array(avail, dtype=float, copy=True)
+    for item in plan:
+        alpha[item.machine_index] += costs.mapping_ecc_row(item.request)[item.machine_index]
+    return alpha.max()
+
+
+@pytest.mark.parametrize("Heuristic", BATCH_HEURISTICS, ids=lambda h: h.__name__)
+class TestPlanContract:
+    def test_covers_all_requests_exactly_once(self, small_grid, Heuristic):
+        eec = np.random.default_rng(0).uniform(1, 50, size=(8, 3))
+        costs = make_costs(small_grid, eec)
+        reqs = make_requests(small_grid, 8)
+        plan = Heuristic().plan(reqs, costs, np.zeros(3))
+        assert sorted(p.request.index for p in plan) == list(range(8))
+        assert sorted(p.order for p in plan) == list(range(8))
+
+    def test_empty_batch_gives_empty_plan(self, small_grid, Heuristic):
+        costs = make_costs(small_grid, np.ones((1, 3)))
+        assert Heuristic().plan([], costs, np.zeros(3)) == []
+
+    def test_machine_indices_valid(self, small_grid, Heuristic):
+        eec = np.random.default_rng(1).uniform(1, 50, size=(6, 3))
+        costs = make_costs(small_grid, eec)
+        plan = Heuristic().plan(make_requests(small_grid, 6), costs, np.zeros(3))
+        assert all(0 <= p.machine_index < 3 for p in plan)
+
+    def test_single_request_gets_best_machine(self, small_grid, Heuristic):
+        eec = np.array([[9.0, 2.0, 7.0]])
+        costs = make_costs(small_grid, eec)
+        plan = Heuristic().plan(make_requests(small_grid, 1), costs, np.zeros(3))
+        assert plan[0].machine_index == 1
+
+
+class TestMinMinOrdering:
+    def test_cheapest_task_scheduled_first(self, small_grid):
+        eec = np.array([[50.0, 60.0, 70.0], [1.0, 2.0, 3.0]])
+        costs = make_costs(small_grid, eec)
+        plan = MinMinHeuristic().plan(make_requests(small_grid, 2), costs, np.zeros(3))
+        assert plan[0].request.index == 1  # the small task goes first
+
+    def test_availability_respected(self, small_grid):
+        eec = np.array([[10.0, 10.0, 10.0]])
+        costs = make_costs(small_grid, eec)
+        avail = np.array([100.0, 0.0, 100.0])
+        plan = MinMinHeuristic().plan(make_requests(small_grid, 1), costs, avail)
+        assert plan[0].machine_index == 1
+
+
+class TestMaxMinOrdering:
+    def test_longest_task_scheduled_first(self, small_grid):
+        eec = np.array([[50.0, 60.0, 70.0], [1.0, 2.0, 3.0]])
+        costs = make_costs(small_grid, eec)
+        plan = MaxMinHeuristic().plan(make_requests(small_grid, 2), costs, np.zeros(3))
+        assert plan[0].request.index == 0
+
+
+class TestSufferage:
+    def test_contended_machine_goes_to_bigger_sufferer(self, small_grid):
+        # Both tasks prefer machine 0; task 0 suffers 1, task 1 suffers 50.
+        eec = np.array([[10.0, 11.0, 100.0], [10.0, 60.0, 100.0]])
+        costs = make_costs(small_grid, eec)
+        plan = SufferageHeuristic().plan(make_requests(small_grid, 2), costs, np.zeros(3))
+        winner = next(p for p in plan if p.machine_index == 0)
+        assert winner.request.index == 1
+
+    def test_loser_assigned_in_later_iteration(self, small_grid):
+        eec = np.array([[10.0, 11.0, 100.0], [10.0, 60.0, 100.0]])
+        costs = make_costs(small_grid, eec)
+        plan = SufferageHeuristic().plan(make_requests(small_grid, 2), costs, np.zeros(3))
+        loser = next(p for p in plan if p.request.index == 0)
+        # After machine 0 is taken (alpha 10), task 0's best is machine 1 (11).
+        assert loser.machine_index == 1
+
+    def test_single_machine_grid_sufferage_zero(self):
+        from repro.grid.activities import ActivityCatalog
+        from repro.grid.topology import GridBuilder
+
+        builder = GridBuilder(ActivityCatalog.default(1))
+        gd = builder.grid_domain("x")
+        rd = builder.resource_domain(gd, required_level="A")
+        cd = builder.client_domain(gd, required_level="A")
+        builder.machine(rd)
+        builder.client(cd)
+        grid = builder.build()
+        costs = make_costs(grid, np.array([[5.0], [7.0]]))
+        plan = SufferageHeuristic().plan(make_requests(grid, 2), costs, np.zeros(1))
+        assert sorted(p.request.index for p in plan) == [0, 1]
+        assert all(p.machine_index == 0 for p in plan)
+
+
+class TestDuplex:
+    def test_never_worse_than_either_parent(self, small_grid):
+        rng = np.random.default_rng(7)
+        for _ in range(10):
+            eec = rng.uniform(1, 100, size=(10, 3))
+            costs = make_costs(small_grid, eec)
+            reqs = make_requests(small_grid, 10)
+            avail = np.zeros(3)
+            d = plan_makespan(DuplexHeuristic().plan(reqs, costs, avail), costs, avail)
+            mi = plan_makespan(MinMinHeuristic().plan(reqs, costs, avail), costs, avail)
+            ma = plan_makespan(MaxMinHeuristic().plan(reqs, costs, avail), costs, avail)
+            assert d <= min(mi, ma) + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=12),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_all_batch_heuristics_cover_batch(n, seed):
+    """Property: every batch heuristic plans every request exactly once."""
+    from repro.grid.activities import ActivityCatalog
+    from repro.grid.topology import GridBuilder
+
+    builder = GridBuilder(ActivityCatalog.default(2))
+    gd = builder.grid_domain("x")
+    rd = builder.resource_domain(gd, required_level="A")
+    cd = builder.client_domain(gd, required_level="A")
+    for _ in range(3):
+        builder.machine(rd)
+    builder.client(cd)
+    grid = builder.build()
+    eec = np.random.default_rng(seed).uniform(1, 100, size=(n, 3))
+    costs = make_costs(grid, eec)
+    reqs = make_requests(grid, n)
+    for Heuristic in BATCH_HEURISTICS:
+        plan = Heuristic().plan(reqs, costs, np.zeros(3))
+        assert sorted(p.request.index for p in plan) == list(range(n))

@@ -1,0 +1,130 @@
+"""Tests for hard trust constraints and admission control."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scheduling.constraints import InfeasiblePolicy, TrustConstraint
+from repro.scheduling.costs import CostProvider
+from repro.scheduling.mct import MctHeuristic
+from repro.scheduling.minmin import MinMinHeuristic
+from repro.scheduling.policy import TrustPolicy
+from repro.scheduling.scheduler import TRMScheduler
+from repro.workloads.scenario import ScenarioSpec, materialize
+
+
+class TestTrustConstraint:
+    def test_feasible_mask(self):
+        c = TrustConstraint(max_trust_cost=2)
+        mask = c.feasible_mask(np.array([0.0, 2.0, 3.0, 6.0]))
+        assert mask.tolist() == [True, True, False, False]
+
+    def test_apply_prices_infeasible_at_inf(self):
+        c = TrustConstraint(max_trust_cost=1)
+        out = c.apply(np.array([10.0, 20.0]), np.array([0.0, 4.0]))
+        assert out[0] == 10.0
+        assert np.isinf(out[1])
+
+    def test_relax_returns_unconstrained_when_nothing_feasible(self):
+        c = TrustConstraint(max_trust_cost=0, infeasible=InfeasiblePolicy.RELAX)
+        out = c.apply(np.array([10.0, 20.0]), np.array([3.0, 4.0]))
+        np.testing.assert_allclose(out, [10.0, 20.0])
+
+    def test_reject_returns_all_inf_when_nothing_feasible(self):
+        c = TrustConstraint(max_trust_cost=0, infeasible=InfeasiblePolicy.REJECT)
+        out = c.apply(np.array([10.0, 20.0]), np.array([3.0, 4.0]))
+        assert np.all(np.isinf(out))
+
+    def test_threshold_validated(self):
+        with pytest.raises(ConfigurationError):
+            TrustConstraint(max_trust_cost=7)
+        with pytest.raises(ConfigurationError):
+            TrustConstraint(max_trust_cost=-1)
+
+
+@pytest.fixture
+def scenario():
+    # High trust variance scenario: several RDs so TCs differ per machine.
+    return materialize(
+        ScenarioSpec(n_tasks=30, target_load=4.0, rd_range=(4, 4), cd_range=(2, 2)),
+        seed=3,
+    )
+
+
+class TestConstrainedScheduling:
+    def test_relaxed_constraint_respects_threshold_where_possible(self, scenario):
+        constraint = TrustConstraint(max_trust_cost=1)
+        scheduler = TRMScheduler(
+            scenario.grid,
+            scenario.eec,
+            TrustPolicy.aware(),
+            MctHeuristic(),
+            constraint=constraint,
+        )
+        result = scheduler.run(scenario.requests)
+        assert not result.rejected
+        for rec in result.records:
+            request = scenario.requests[rec.request_index]
+            tc_row = scheduler.costs.trust_cost_row(request)
+            if (tc_row <= 1).any():
+                assert rec.trust_cost <= 1, (
+                    f"request {rec.request_index} had a feasible machine but "
+                    f"ran at TC {rec.trust_cost}"
+                )
+
+    def test_reject_policy_drops_infeasible_requests(self, scenario):
+        constraint = TrustConstraint(
+            max_trust_cost=0, infeasible=InfeasiblePolicy.REJECT
+        )
+        scheduler = TRMScheduler(
+            scenario.grid,
+            scenario.eec,
+            TrustPolicy.aware(),
+            MctHeuristic(),
+            constraint=constraint,
+        )
+        result = scheduler.run(scenario.requests)
+        assert len(result.records) + len(result.rejected) == 30
+        # Every mapped request honours the hard bound.
+        for rec in result.records:
+            assert rec.trust_cost == 0
+        assert result.rejection_rate == len(result.rejected) / 30
+
+    def test_reject_in_batch_mode(self, scenario):
+        constraint = TrustConstraint(
+            max_trust_cost=0, infeasible=InfeasiblePolicy.REJECT
+        )
+        result = TRMScheduler(
+            scenario.grid,
+            scenario.eec,
+            TrustPolicy.aware(),
+            MinMinHeuristic(),
+            batch_interval=300.0,
+            constraint=constraint,
+        ).run(scenario.requests)
+        assert len(result.records) + len(result.rejected) == 30
+        for rec in result.records:
+            assert rec.trust_cost == 0
+
+    def test_noop_constraint_changes_nothing(self, scenario):
+        base = TRMScheduler(
+            scenario.grid, scenario.eec, TrustPolicy.aware(), MctHeuristic()
+        ).run(scenario.requests)
+        constrained = TRMScheduler(
+            scenario.grid,
+            scenario.eec,
+            TrustPolicy.aware(),
+            MctHeuristic(),
+            constraint=TrustConstraint(max_trust_cost=6),
+        ).run(scenario.requests)
+        assert [r.completion_time for r in base.records] == [
+            r.completion_time for r in constrained.records
+        ]
+
+    def test_rejection_rate_empty_run(self):
+        from repro.scheduling.result import ScheduleResult
+
+        result = ScheduleResult(
+            heuristic="mct", policy_label="trust-aware", records=(), machine_states=()
+        )
+        assert result.rejection_rate == 0.0

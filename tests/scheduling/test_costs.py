@@ -1,0 +1,96 @@
+"""Tests for the CostProvider."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.grid.activities import ActivitySet
+from repro.grid.request import Request, Task
+from repro.scheduling.costs import CostProvider
+from repro.scheduling.policy import TrustPolicy
+
+
+def make_request(grid, index=0, client=0, activities=(0,), arrival=0.0) -> Request:
+    task = Task(
+        index=index,
+        activities=ActivitySet.of([grid.catalog.by_index(a) for a in activities]),
+    )
+    return Request(index=index, client=grid.clients[client], task=task, arrival_time=arrival)
+
+
+@pytest.fixture
+def provider(small_grid):
+    eec = np.array(
+        [[10.0, 20.0, 30.0], [5.0, 5.0, 5.0]], dtype=np.float64
+    )
+    return CostProvider(grid=small_grid, eec=eec, policy=TrustPolicy.aware())
+
+
+class TestValidation:
+    def test_column_count_must_match_machines(self, small_grid):
+        with pytest.raises(ConfigurationError, match="machines"):
+            CostProvider(small_grid, np.ones((2, 2)), TrustPolicy.aware())
+
+    def test_eec_must_be_positive(self, small_grid):
+        with pytest.raises(ConfigurationError):
+            CostProvider(small_grid, np.zeros((2, 3)), TrustPolicy.aware())
+
+    def test_eec_must_be_2d(self, small_grid):
+        with pytest.raises(ConfigurationError):
+            CostProvider(small_grid, np.ones(3), TrustPolicy.aware())
+
+    def test_task_index_out_of_matrix(self, small_grid, provider):
+        req = make_request(small_grid, index=9)
+        with pytest.raises(ConfigurationError):
+            provider.eec_row(req)
+
+
+class TestRows:
+    def test_eec_row(self, small_grid, provider):
+        req = make_request(small_grid, index=1)
+        np.testing.assert_allclose(provider.eec_row(req), [5.0, 5.0, 5.0])
+
+    def test_trust_cost_row_matches_grid(self, small_grid, provider):
+        # Trust table is uniform A; cd0 RTL=C(3); RD RTLs are B(2), D(4).
+        # Effective RTL per RD: [3, 4]; OTL=1 -> TC per RD [2, 3].
+        # Machines [rd0, rd0, rd1] -> [2, 2, 3].
+        req = make_request(small_grid, index=0, client=0)
+        np.testing.assert_allclose(provider.trust_cost_row(req), [2.0, 2.0, 3.0])
+
+    def test_trust_cost_row_cached(self, small_grid, provider):
+        req = make_request(small_grid, index=0)
+        a = provider.trust_cost_row(req)
+        b = provider.trust_cost_row(req)
+        assert a is b
+        with pytest.raises(ValueError):
+            a[0] = 99  # cached row is frozen
+
+    def test_mapping_row_aware(self, small_grid, provider):
+        req = make_request(small_grid, index=0, client=0)
+        # ECC = EEC * (1 + 0.15*TC) with TC [2, 2, 3].
+        expected = np.array([10.0, 20.0, 30.0]) * np.array([1.3, 1.3, 1.45])
+        np.testing.assert_allclose(provider.mapping_ecc_row(req), expected)
+
+    def test_with_policy_switches_formula(self, small_grid, provider):
+        unaware = provider.with_policy(TrustPolicy.unaware())
+        req = make_request(small_grid, index=0)
+        np.testing.assert_allclose(
+            unaware.mapping_ecc_row(req), np.array([10.0, 20.0, 30.0]) * 1.5
+        )
+        # Trust costs are policy independent.
+        np.testing.assert_allclose(
+            unaware.trust_cost_row(req), provider.trust_cost_row(req)
+        )
+
+    def test_composed_activities_lower_otl(self, small_grid, provider):
+        # Raise activity 0's level for cd0/rd0 to E; activity 1 stays A.
+        small_grid.trust_table.set(0, 0, 0, "E")
+        provider2 = CostProvider(
+            grid=small_grid, eec=provider.eec, policy=TrustPolicy.aware()
+        )
+        atomic = make_request(small_grid, index=0, activities=(0,))
+        composed = make_request(small_grid, index=1, activities=(0, 1))
+        # Atomic on rd0: OTL=E(5) >= RTL C(3)/B(2) -> TC 0 on machines 0,1.
+        np.testing.assert_allclose(provider2.trust_cost_row(atomic)[:2], [0.0, 0.0])
+        # Composed drags OTL back to A -> TC 2.
+        np.testing.assert_allclose(provider2.trust_cost_row(composed)[:2], [2.0, 2.0])

@@ -1,0 +1,87 @@
+"""Equivalence of the vectorised fast paths with the reference heuristics.
+
+The fast implementations must produce *identical plans* — same
+request→machine assignments in the same order — for arbitrary scenarios.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scheduling.costs import CostProvider
+from repro.scheduling.fast import FastMinMinHeuristic, FastSufferageHeuristic
+from repro.scheduling.minmin import MinMinHeuristic
+from repro.scheduling.policy import TrustPolicy
+from repro.scheduling.sufferage import SufferageHeuristic
+from repro.workloads.scenario import ScenarioSpec, materialize
+
+PAIRS = [
+    (MinMinHeuristic, FastMinMinHeuristic),
+    (SufferageHeuristic, FastSufferageHeuristic),
+]
+
+
+def plans_equal(a, b) -> bool:
+    return [(p.request.index, p.machine_index, p.order) for p in a] == [
+        (p.request.index, p.machine_index, p.order) for p in b
+    ]
+
+
+def make_case(seed: int, n_tasks: int, n_machines: int, trust_aware: bool):
+    spec = ScenarioSpec(n_tasks=n_tasks, n_machines=n_machines, target_load=3.0)
+    scenario = materialize(spec, seed=seed)
+    policy = TrustPolicy(trust_aware)
+    costs = CostProvider(grid=scenario.grid, eec=scenario.eec, policy=policy)
+    return scenario, costs
+
+
+@pytest.mark.parametrize("Reference,Fast", PAIRS, ids=lambda c: c.__name__)
+class TestEquivalence:
+    def test_idle_machines(self, Reference, Fast):
+        scenario, costs = make_case(seed=0, n_tasks=20, n_machines=5, trust_aware=True)
+        avail = np.zeros(5)
+        ref = Reference().plan(list(scenario.requests), costs, avail)
+        fast = Fast().plan(list(scenario.requests), costs, avail)
+        assert plans_equal(ref, fast)
+
+    def test_loaded_machines(self, Reference, Fast):
+        scenario, costs = make_case(seed=1, n_tasks=15, n_machines=4, trust_aware=False)
+        avail = np.array([100.0, 0.0, 250.0, 40.0])
+        ref = Reference().plan(list(scenario.requests), costs, avail)
+        fast = Fast().plan(list(scenario.requests), costs, avail)
+        assert plans_equal(ref, fast)
+
+    def test_single_machine(self, Reference, Fast):
+        scenario, costs = make_case(seed=2, n_tasks=8, n_machines=1, trust_aware=True)
+        ref = Reference().plan(list(scenario.requests), costs, np.zeros(1))
+        fast = Fast().plan(list(scenario.requests), costs, np.zeros(1))
+        assert plans_equal(ref, fast)
+
+    def test_empty_batch(self, Reference, Fast):
+        _, costs = make_case(seed=3, n_tasks=2, n_machines=3, trust_aware=True)
+        assert Fast().plan([], costs, np.zeros(3)) == []
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n_tasks=st.integers(min_value=1, max_value=30),
+        n_machines=st.integers(min_value=1, max_value=8),
+        trust_aware=st.booleans(),
+    )
+    def test_property_equivalence(self, Reference, Fast, seed, n_tasks, n_machines, trust_aware):
+        scenario, costs = make_case(seed, n_tasks, n_machines, trust_aware)
+        avail_rng = np.random.default_rng(seed + 1)
+        avail = avail_rng.uniform(0, 500, size=n_machines)
+        ref = Reference().plan(list(scenario.requests), costs, avail.copy())
+        fast = Fast().plan(list(scenario.requests), costs, avail.copy())
+        assert plans_equal(ref, fast)
+
+
+class TestRegistryExposure:
+    def test_fast_variants_registered(self):
+        from repro.scheduling.registry import is_batch, make_heuristic
+
+        assert isinstance(make_heuristic("min-min-fast"), FastMinMinHeuristic)
+        assert isinstance(make_heuristic("sufferage-fast"), FastSufferageHeuristic)
+        assert is_batch("min-min-fast") and is_batch("sufferage-fast")

@@ -1,0 +1,135 @@
+"""Property-based end-to-end invariants of the TRM scheduler.
+
+These fuzz whole scenarios through both modes and assert the physical
+invariants any valid schedule must satisfy, independent of heuristic
+quality: conservation of booked work, non-overlapping execution per
+machine, causality (nothing starts before it arrives or is mapped), and
+complete coverage of the request set.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scheduling.policy import SecurityAccounting, TrustPolicy
+from repro.scheduling.registry import is_batch, make_heuristic
+from repro.scheduling.scheduler import TRMScheduler
+from repro.workloads.scenario import ScenarioSpec, materialize
+
+HEURISTICS = ("mct", "olb", "kpb", "min-min", "max-min", "sufferage")
+
+scenario_params = st.fixed_dictionaries(
+    {
+        "n_tasks": st.integers(min_value=1, max_value=25),
+        "n_machines": st.integers(min_value=1, max_value=6),
+        "seed": st.integers(min_value=0, max_value=10_000),
+        "heuristic": st.sampled_from(HEURISTICS),
+        "trust_aware": st.booleans(),
+        "accounting": st.sampled_from(list(SecurityAccounting)),
+        "load": st.floats(min_value=0.2, max_value=8.0),
+    }
+)
+
+
+def run_case(params):
+    spec = ScenarioSpec(
+        n_tasks=params["n_tasks"],
+        n_machines=params["n_machines"],
+        target_load=params["load"],
+    )
+    scenario = materialize(spec, seed=params["seed"])
+    heuristic = make_heuristic(params["heuristic"])
+    policy = TrustPolicy(params["trust_aware"], accounting=params["accounting"])
+    interval = 300.0 if is_batch(params["heuristic"]) else None
+    scheduler = TRMScheduler(
+        scenario.grid, scenario.eec, policy, heuristic, batch_interval=interval
+    )
+    return scenario, scheduler.run(scenario.requests)
+
+
+@settings(max_examples=60, deadline=None)
+@given(scenario_params)
+def test_schedule_invariants(params):
+    scenario, result = run_case(params)
+
+    # Coverage: every request mapped exactly once, in request order.
+    assert [r.request_index for r in result.records] == list(
+        range(params["n_tasks"])
+    )
+
+    by_machine: dict[int, list] = {}
+    for rec in result.records:
+        # Causality.
+        assert rec.mapped_time >= rec.arrival_time - 1e-9
+        assert rec.start_time >= rec.mapped_time - 1e-9
+        assert rec.completion_time == pytest.approx(
+            rec.start_time + rec.realized_cost
+        )
+        # Security cost is never negative.
+        assert rec.realized_cost >= rec.eec - 1e-9
+        by_machine.setdefault(rec.machine_index, []).append(rec)
+
+    # Non-overlap per machine: sorted by start, each starts after the
+    # previous completes.
+    for records in by_machine.values():
+        records.sort(key=lambda r: r.start_time)
+        for prev, nxt in zip(records, records[1:]):
+            assert nxt.start_time >= prev.completion_time - 1e-9
+
+    # Conservation: booked busy time equals the sum of realised costs.
+    total_cost = sum(r.realized_cost for r in result.records)
+    total_busy = sum(s.busy_time for s in result.machine_states)
+    assert total_busy == pytest.approx(total_cost)
+
+    # Makespan consistency.
+    assert result.makespan == pytest.approx(
+        max(r.completion_time for r in result.records)
+    )
+    assert max(s.available_time for s in result.machine_states) == pytest.approx(
+        result.makespan
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=5_000),
+    n_tasks=st.integers(min_value=2, max_value=20),
+)
+def test_aware_never_pays_more_than_mapping_promises(seed, n_tasks):
+    """For the aware policy, mapping and realised costs coincide, so the
+    realised cost at the chosen machine must equal the believed one."""
+    spec = ScenarioSpec(n_tasks=n_tasks, target_load=3.0)
+    scenario = materialize(spec, seed=seed)
+    scheduler = TRMScheduler(
+        scenario.grid, scenario.eec, TrustPolicy.aware(), make_heuristic("mct")
+    )
+    result = scheduler.run(scenario.requests)
+    for rec in result.records:
+        believed = scheduler.costs.mapping_ecc_row(
+            scenario.requests[rec.request_index]
+        )[rec.machine_index]
+        assert rec.realized_cost == pytest.approx(float(believed))
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2_000))
+def test_batch_and_online_agree_on_single_request(seed):
+    """With one request, Min-min's choice equals MCT's (both minimise the
+    same completion cost on idle machines)."""
+    spec = ScenarioSpec(n_tasks=1, target_load=1.0)
+    scenario = materialize(spec, seed=seed)
+    policy = TrustPolicy.aware()
+    online = TRMScheduler(
+        scenario.grid, scenario.eec, policy, make_heuristic("mct")
+    ).run(scenario.requests)
+    batch = TRMScheduler(
+        scenario.grid,
+        scenario.eec,
+        policy,
+        make_heuristic("min-min"),
+        batch_interval=1e9,  # single closing batch after the arrival
+    ).run(scenario.requests)
+    assert (
+        online.records[0].machine_index == batch.records[0].machine_index
+    )

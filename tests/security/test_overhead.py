@@ -1,0 +1,70 @@
+"""Tests for the supplement ladder grounding the 15%/level weight."""
+
+import pytest
+
+from repro.core.ets import TC_MAX
+from repro.security.overhead import (
+    DEFAULT_LADDER,
+    Mechanism,
+    SupplementLadder,
+    calibrate_weight,
+    linear_supplement_fraction,
+)
+
+
+class TestMechanism:
+    def test_negative_overhead_rejected(self):
+        with pytest.raises(ValueError):
+            Mechanism("x", overhead_fraction=-0.1)
+
+
+class TestSupplementLadder:
+    def test_needs_six_levels(self):
+        with pytest.raises(ValueError):
+            SupplementLadder(levels=((),))
+
+    def test_zero_tc_costs_nothing(self):
+        assert DEFAULT_LADDER.overhead(0) == 0.0
+
+    def test_overhead_monotone_in_tc(self):
+        values = DEFAULT_LADDER.overheads()
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_mechanisms_stack(self):
+        ladder = SupplementLadder(
+            levels=tuple((Mechanism(f"m{i}", 0.1),) for i in range(6))
+        )
+        assert ladder.overhead(3) == pytest.approx(0.3)
+        assert ladder.overhead(6) == pytest.approx(0.6)
+
+    def test_tc_bounds_checked(self):
+        with pytest.raises(ValueError):
+            DEFAULT_LADDER.overhead(-1)
+        with pytest.raises(ValueError):
+            DEFAULT_LADDER.overhead(TC_MAX + 1)
+
+    def test_overheads_array_length(self):
+        assert len(DEFAULT_LADDER.overheads()) == 7
+
+
+class TestLinearModel:
+    def test_paper_formula(self):
+        assert linear_supplement_fraction(3) == pytest.approx(0.45)
+        assert linear_supplement_fraction(6) == pytest.approx(0.90)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            linear_supplement_fraction(-1)
+        with pytest.raises(ValueError):
+            linear_supplement_fraction(1, weight=-5)
+
+    def test_calibrated_weight_near_paper_15(self):
+        """The measured-mechanism ladder supports the paper's choice of 15."""
+        w = calibrate_weight(DEFAULT_LADDER)
+        assert 12.0 <= w <= 18.0
+
+    def test_calibration_fits_linear_ladder_exactly(self):
+        ladder = SupplementLadder(
+            levels=tuple((Mechanism(f"m{i}", 0.15),) for i in range(6))
+        )
+        assert calibrate_weight(ladder) == pytest.approx(15.0)

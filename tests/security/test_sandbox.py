@@ -1,0 +1,87 @@
+"""Tests for the SFI sandboxing models."""
+
+import numpy as np
+import pytest
+
+from repro.security.sandbox import (
+    BENCHMARK_APPS,
+    LOGICAL_LOG_DISK,
+    MD5_DIGEST,
+    MISFIT,
+    PAGE_EVICTION_HOTLIST,
+    SASI_X86SFI,
+    InstructionMix,
+    SfiTool,
+    predicted_overhead,
+    simulate_sandboxed_run,
+)
+
+PAPER = {
+    PAGE_EVICTION_HOTLIST.name: (1.37, 2.64),
+    LOGICAL_LOG_DISK.name: (0.58, 0.65),
+    MD5_DIGEST.name: (0.33, 0.36),
+}
+
+
+class TestInstructionMix:
+    def test_fractions_validated(self):
+        with pytest.raises(ValueError):
+            InstructionMix("x", write_frac=0.6, read_frac=0.6, jump_frac=0.0)
+        with pytest.raises(ValueError):
+            InstructionMix("x", write_frac=-0.1, read_frac=0.0, jump_frac=0.0)
+
+    def test_other_frac_completes_to_one(self):
+        mix = InstructionMix("x", 0.2, 0.3, 0.1)
+        assert mix.other_frac == pytest.approx(0.4)
+
+
+class TestSfiTool:
+    def test_negative_penalty_rejected(self):
+        with pytest.raises(ValueError):
+            SfiTool("x", write_check=-1.0, read_check=0.0, jump_check=0.0)
+
+    def test_misfit_does_not_guard_reads(self):
+        assert MISFIT.read_check == 0.0
+        assert SASI_X86SFI.read_check > 0.0
+
+
+class TestPredictedOverhead:
+    @pytest.mark.parametrize("app", BENCHMARK_APPS, ids=lambda a: a.name)
+    def test_calibration_close_to_paper(self, app):
+        paper_misfit, paper_sasi = PAPER[app.name]
+        assert predicted_overhead(app, MISFIT) == pytest.approx(paper_misfit, rel=0.05)
+        assert predicted_overhead(app, SASI_X86SFI) == pytest.approx(paper_sasi, rel=0.05)
+
+    def test_ordering_hotlist_dominates(self):
+        for tool in (MISFIT, SASI_X86SFI):
+            o_hot = predicted_overhead(PAGE_EVICTION_HOTLIST, tool)
+            o_lld = predicted_overhead(LOGICAL_LOG_DISK, tool)
+            o_md5 = predicted_overhead(MD5_DIGEST, tool)
+            assert o_hot > o_lld > o_md5
+
+    def test_sasi_never_cheaper_than_misfit(self):
+        for app in BENCHMARK_APPS:
+            assert predicted_overhead(app, SASI_X86SFI) >= predicted_overhead(app, MISFIT)
+
+    def test_sasi_gap_largest_for_read_heavy_app(self):
+        gaps = {
+            app.name: predicted_overhead(app, SASI_X86SFI) - predicted_overhead(app, MISFIT)
+            for app in BENCHMARK_APPS
+        }
+        assert max(gaps, key=gaps.get) == PAGE_EVICTION_HOTLIST.name
+
+
+class TestSimulatedRun:
+    def test_converges_to_prediction(self, rng):
+        for app in BENCHMARK_APPS:
+            sim = simulate_sandboxed_run(app, MISFIT, rng, n_instructions=300_000)
+            assert sim == pytest.approx(predicted_overhead(app, MISFIT), rel=0.05)
+
+    def test_deterministic_per_seed(self):
+        a = simulate_sandboxed_run(MD5_DIGEST, MISFIT, np.random.default_rng(5))
+        b = simulate_sandboxed_run(MD5_DIGEST, MISFIT, np.random.default_rng(5))
+        assert a == b
+
+    def test_invalid_length(self, rng):
+        with pytest.raises(ValueError):
+            simulate_sandboxed_run(MD5_DIGEST, MISFIT, rng, n_instructions=0)

@@ -1,0 +1,118 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.errors import EventOrderError, SimulationError
+from repro.sim.events import EventPriority
+from repro.sim.kernel import Simulator
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_past_scheduling_rejected(self):
+        sim = Simulator()
+        sim.schedule(10.0, None)
+        sim.run()
+        with pytest.raises(EventOrderError):
+            sim.schedule(5.0, None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(EventOrderError):
+            Simulator().schedule_after(-1.0, None)
+
+    def test_schedule_after_is_relative(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10.0, lambda ev: sim.schedule_after(5.0, lambda e: fired.append(e.time)))
+        sim.run()
+        assert fired == [15.0]
+
+
+class TestExecution:
+    def test_events_fire_in_order_and_advance_clock(self):
+        sim = Simulator()
+        log = []
+        for t in [3.0, 1.0, 2.0]:
+            sim.schedule(t, lambda ev: log.append((ev.time, sim.now)))
+        end = sim.run()
+        assert log == [(1.0, 1.0), (2.0, 2.0), (3.0, 3.0)]
+        assert end == 3.0
+        assert sim.processed == 3
+
+    def test_handlers_can_schedule_more_events(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(ev):
+            fired.append(ev.time)
+            if ev.time < 3.0:
+                sim.schedule(ev.time + 1.0, chain)
+
+        sim.schedule(1.0, chain)
+        sim.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_run_until_stops_but_keeps_future_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda ev: fired.append(1))
+        sim.schedule(10.0, lambda ev: fired.append(10))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+        assert sim.pending == 1
+        sim.run()
+        assert fired == [1, 10]
+
+    def test_run_until_includes_boundary_event(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, lambda ev: fired.append(ev.time))
+        sim.run(until=5.0)
+        assert fired == [5.0]
+
+    def test_run_until_advances_idle_clock(self):
+        sim = Simulator()
+        sim.run(until=42.0)
+        assert sim.now == 42.0
+
+    def test_step_fires_exactly_one(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda ev: fired.append(1))
+        sim.schedule(2.0, lambda ev: fired.append(2))
+        sim.step()
+        assert fired == [1]
+
+    def test_step_empty_raises(self):
+        with pytest.raises(SimulationError):
+            Simulator().step()
+
+    def test_cancelled_event_not_fired(self):
+        sim = Simulator()
+        fired = []
+        ev = sim.schedule(1.0, lambda e: fired.append(1))
+        sim.cancel(ev)
+        sim.run()
+        assert fired == []
+
+    def test_event_budget_guards_runaway(self):
+        sim = Simulator(max_events=10)
+
+        def forever(ev):
+            sim.schedule_after(1.0, forever)
+
+        sim.schedule(0.0, forever)
+        with pytest.raises(SimulationError, match="budget"):
+            sim.run()
+
+    def test_priority_ordering_at_same_instant(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, lambda ev: order.append("batch"), priority=EventPriority.BATCH)
+        sim.schedule(1.0, lambda ev: order.append("completion"), priority=EventPriority.COMPLETION)
+        sim.schedule(1.0, lambda ev: order.append("arrival"), priority=EventPriority.ARRIVAL)
+        sim.run()
+        assert order == ["completion", "arrival", "batch"]

@@ -1,0 +1,92 @@
+"""Tests for the Markov-modulated Poisson arrival process."""
+
+import numpy as np
+import pytest
+
+from repro.sim.arrivals import PoissonProcess
+from repro.sim.mmpp import MmppProcess
+
+
+def make(rng, **kwargs) -> MmppProcess:
+    defaults = dict(
+        quiet_rate=0.01,
+        burst_rate=0.2,
+        quiet_duration=500.0,
+        burst_duration=100.0,
+        rng=rng,
+    )
+    defaults.update(kwargs)
+    return MmppProcess(**defaults)
+
+
+class TestMmppProcess:
+    def test_times_increasing(self, rng):
+        times = make(rng).times(500)
+        assert np.all(np.diff(times) > 0)
+
+    def test_mean_rate_formula(self, rng):
+        proc = make(rng)
+        expected = (0.01 * 500 + 0.2 * 100) / 600
+        assert proc.mean_rate == pytest.approx(expected)
+
+    def test_long_run_rate_matches_mean(self, rng):
+        proc = make(rng)
+        n = 20_000
+        times = proc.times(n)
+        empirical = n / times[-1]
+        assert empirical == pytest.approx(proc.mean_rate, rel=0.1)
+
+    def test_burstier_than_poisson(self, rng):
+        """The MMPP's inter-arrival CoV exceeds the Poisson's 1."""
+        proc = make(rng)
+        gaps = np.diff(proc.times(20_000))
+        cov_mmpp = gaps.std() / gaps.mean()
+        poisson = PoissonProcess(rate=proc.mean_rate, rng=rng)
+        gaps_p = np.diff(poisson.times(20_000))
+        cov_poisson = gaps_p.std() / gaps_p.mean()
+        assert cov_mmpp > cov_poisson * 1.2
+        assert cov_mmpp > 1.3
+
+    def test_start_offset(self, rng):
+        times = make(rng, start=100.0).times(10)
+        assert times[0] >= 100.0
+
+    def test_zero_count(self, rng):
+        assert make(rng).times(0).size == 0
+
+    def test_determinism(self):
+        a = make(np.random.default_rng(3)).times(100)
+        b = make(np.random.default_rng(3)).times(100)
+        np.testing.assert_array_equal(a, b)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"quiet_rate": 0.0},
+            {"burst_rate": 0.005},  # below quiet rate
+            {"quiet_duration": 0.0},
+            {"burst_duration": -1.0},
+            {"start": -1.0},
+        ],
+    )
+    def test_validation(self, rng, kwargs):
+        with pytest.raises(ValueError):
+            make(rng, **kwargs)
+
+
+class TestLoadEquivalent:
+    def test_hits_target_mean_rate(self, rng):
+        proc = MmppProcess.load_equivalent(0.05, rng, burstiness=4.0)
+        assert proc.mean_rate == pytest.approx(0.05)
+        assert proc.burst_rate == pytest.approx(4.0 * proc.quiet_rate)
+
+    def test_empirical_rate(self, rng):
+        proc = MmppProcess.load_equivalent(0.05, rng)
+        times = proc.times(20_000)
+        assert 20_000 / times[-1] == pytest.approx(0.05, rel=0.1)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            MmppProcess.load_equivalent(0.0, rng)
+        with pytest.raises(ValueError):
+            MmppProcess.load_equivalent(0.05, rng, burstiness=1.0)

@@ -1,0 +1,150 @@
+"""Tests for the coroutine process layer."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Simulator
+from repro.sim.process import Condition, Delay, ProcessEnv, Signal, WaitFor, spawn
+
+
+class TestDelay:
+    def test_sequence_of_delays(self):
+        sim = Simulator()
+        trace = []
+
+        def proc(env: ProcessEnv):
+            trace.append(env.now)
+            yield Delay(5.0)
+            trace.append(env.now)
+            yield Delay(2.5)
+            trace.append(env.now)
+
+        env = spawn(sim, proc)
+        sim.run()
+        assert trace == [0.0, 5.0, 7.5]
+        assert env.finished
+
+    def test_start_at(self):
+        sim = Simulator()
+        seen = []
+
+        def proc(env):
+            seen.append(env.now)
+            yield Delay(1.0)
+
+        spawn(sim, proc, at=10.0)
+        sim.run()
+        assert seen == [10.0]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Delay(-1.0)
+
+
+class TestConditions:
+    def test_signal_wakes_waiters(self):
+        sim = Simulator()
+        done = Condition("done")
+        log = []
+
+        def worker(env):
+            yield Delay(5.0)
+            log.append(("worker", env.now))
+            yield Signal(done)
+
+        def watcher(env):
+            yield WaitFor(done)
+            log.append(("watcher", env.now))
+
+        spawn(sim, worker)
+        spawn(sim, watcher)
+        sim.run()
+        assert ("worker", 5.0) in log
+        assert ("watcher", 5.0) in log
+        assert done.fired_count == 1
+
+    def test_signal_reports_woken_count(self):
+        sim = Simulator()
+        cond = Condition()
+        woken_counts = []
+
+        def waiter(env):
+            yield WaitFor(cond)
+
+        def signaller(env):
+            yield Delay(1.0)
+            count = yield Signal(cond)
+            woken_counts.append(count)
+
+        spawn(sim, waiter)
+        spawn(sim, waiter, name="waiter-2")
+        spawn(sim, signaller)
+        sim.run()
+        assert woken_counts == [2]
+
+    def test_waiting_count(self):
+        sim = Simulator()
+        cond = Condition()
+
+        def waiter(env):
+            yield WaitFor(cond)
+
+        spawn(sim, waiter)
+        sim.run(until=0.5)
+        assert cond.waiting == 1
+
+    def test_signal_with_no_waiters_is_fine(self):
+        sim = Simulator()
+        cond = Condition()
+
+        def signaller(env):
+            count = yield Signal(cond)
+            assert count == 0
+
+        env = spawn(sim, signaller)
+        sim.run()
+        assert env.finished
+
+
+class TestErrors:
+    def test_non_generator_rejected(self):
+        sim = Simulator()
+
+        def not_a_process(env):
+            return 42
+
+        with pytest.raises(SimulationError, match="generator"):
+            spawn(sim, not_a_process)
+
+    def test_unsupported_command(self):
+        sim = Simulator()
+
+        def bad(env):
+            yield "nonsense"
+
+        spawn(sim, bad)
+        with pytest.raises(SimulationError, match="unsupported command"):
+            sim.run()
+
+
+class TestComposition:
+    def test_pipeline_of_processes(self):
+        """Producer/consumer chain driven purely by conditions."""
+        sim = Simulator()
+        stages = [Condition(f"stage-{i}") for i in range(3)]
+        completions = []
+
+        def stage(i):
+            def proc(env):
+                if i > 0:
+                    yield WaitFor(stages[i - 1])
+                yield Delay(10.0)
+                completions.append((i, env.now))
+                yield Signal(stages[i])
+
+            return proc
+
+        for i in range(3):
+            spawn(sim, stage(i), name=f"stage-{i}")
+        sim.run()
+        assert completions == [(0, 10.0), (1, 20.0), (2, 30.0)]

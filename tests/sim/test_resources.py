@@ -1,0 +1,107 @@
+"""Tests for capacity resources in the process layer."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Simulator
+from repro.sim.process import Delay, spawn
+from repro.sim.resources import Acquire, Release, Resource
+
+
+class TestResourceObject:
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            Resource("x", capacity=0)
+
+    def test_over_release_rejected(self):
+        r = Resource("x", capacity=1)
+        with pytest.raises(SimulationError, match="released more"):
+            r._release()
+
+
+class TestAcquireRelease:
+    def test_serialises_contending_jobs(self):
+        sim = Simulator()
+        cpu = Resource("cpu", capacity=1)
+        spans = []
+
+        def job(name):
+            def proc(env):
+                yield Acquire(cpu)
+                start = env.now
+                yield Delay(10.0)
+                spans.append((name, start, env.now))
+                yield Release(cpu)
+
+            return proc
+
+        for i in range(3):
+            spawn(sim, job(i), name=f"job-{i}")
+        sim.run()
+        # Jobs run back to back on the single unit.
+        spans.sort(key=lambda s: s[1])
+        assert [(s[1], s[2]) for s in spans] == [(0.0, 10.0), (10.0, 20.0), (20.0, 30.0)]
+        assert cpu.in_use == 0
+
+    def test_capacity_two_overlaps(self):
+        sim = Simulator()
+        cpu = Resource("cpu", capacity=2)
+        finishes = []
+
+        def job(env):
+            yield Acquire(cpu)
+            yield Delay(10.0)
+            finishes.append(env.now)
+            yield Release(cpu)
+
+        for i in range(4):
+            spawn(sim, job, name=f"j{i}")
+        sim.run()
+        assert sorted(finishes) == [10.0, 10.0, 20.0, 20.0]
+
+    def test_fifo_fairness(self):
+        sim = Simulator()
+        res = Resource("r", capacity=1)
+        order = []
+
+        def holder(env):
+            yield Acquire(res)
+            yield Delay(5.0)
+            yield Release(res)
+
+        def waiter(name, arrive):
+            def proc(env):
+                yield Delay(arrive)
+                yield Acquire(res)
+                order.append(name)
+                yield Release(res)
+
+            return proc
+
+        spawn(sim, holder)
+        spawn(sim, waiter("first", 1.0))
+        spawn(sim, waiter("second", 2.0))
+        sim.run()
+        assert order == ["first", "second"]
+
+    def test_queue_length_visible_mid_run(self):
+        sim = Simulator()
+        res = Resource("r", capacity=1)
+
+        def holder(env):
+            yield Acquire(res)
+            yield Delay(100.0)
+            yield Release(res)
+
+        def waiter(env):
+            yield Acquire(res)
+            yield Release(res)
+
+        spawn(sim, holder)
+        spawn(sim, waiter)
+        sim.run(until=10.0)
+        assert res.queue_length == 1
+        assert res.available == 0
+        sim.run()
+        assert res.queue_length == 0
+        assert res.available == 1

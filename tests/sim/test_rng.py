@@ -1,0 +1,48 @@
+"""Tests for the deterministic random-stream factory."""
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import RngFactory
+
+
+class TestRngFactory:
+    def test_same_name_same_stream(self):
+        factory = RngFactory(seed=42)
+        a = factory.stream("arrivals").random(10)
+        b = factory.stream("arrivals").random(10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_names_independent(self):
+        factory = RngFactory(seed=42)
+        a = factory.stream("arrivals").random(10)
+        b = factory.stream("eec").random(10)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RngFactory(seed=1).stream("x").random(10)
+        b = RngFactory(seed=2).stream("x").random(10)
+        assert not np.array_equal(a, b)
+
+    def test_child_factories_independent(self):
+        factory = RngFactory(seed=42)
+        a = factory.child("rep-0").stream("x").random(10)
+        b = factory.child("rep-1").stream("x").random(10)
+        parent = factory.stream("x").random(10)
+        assert not np.array_equal(a, b)
+        assert not np.array_equal(a, parent)
+
+    def test_child_is_deterministic(self):
+        a = RngFactory(seed=42).child("rep-0").stream("x").random(5)
+        b = RngFactory(seed=42).child("rep-0").stream("x").random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_empty_names_rejected(self):
+        with pytest.raises(ValueError):
+            RngFactory(seed=1).stream("")
+        with pytest.raises(ValueError):
+            RngFactory(seed=1).child("")
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            RngFactory(seed=-1)

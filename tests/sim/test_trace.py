@@ -1,0 +1,47 @@
+"""Tests for the simulation tracer."""
+
+import pytest
+
+from repro.sim.trace import Tracer
+
+
+class TestTracer:
+    def test_emit_and_filter(self):
+        tracer = Tracer()
+        tracer.emit(1.0, "arrival", request=1)
+        tracer.emit(2.0, "assign", request=1, machine=0)
+        tracer.emit(3.0, "arrival", request=2)
+        assert len(tracer) == 3
+        arrivals = tracer.entries("arrival")
+        assert [e.detail["request"] for e in arrivals] == [1, 2]
+
+    def test_disabled_records_nothing(self):
+        tracer = Tracer.disabled()
+        tracer.emit(1.0, "arrival")
+        assert len(tracer) == 0
+
+    def test_capacity_drops_oldest(self):
+        tracer = Tracer(capacity=2)
+        for i in range(5):
+            tracer.emit(float(i), "tick", i=i)
+        assert len(tracer) == 2
+        assert [e.detail["i"] for e in tracer] == [3, 4]
+        assert tracer.dropped == 3
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.emit(1.0, "x")
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.dropped == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+    def test_entries_returns_copy(self):
+        tracer = Tracer()
+        tracer.emit(1.0, "x")
+        entries = tracer.entries()
+        entries.clear()
+        assert len(tracer) == 1

@@ -1,0 +1,72 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table_number_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table", "10"])
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "requested TL" in out
+
+    def test_table2(self, capsys):
+        assert main(["table", "2"]) == 0
+        assert "scp" in capsys.readouterr().out
+
+    def test_table3(self, capsys):
+        assert main(["table", "3"]) == 0
+        assert "1000 Mbps" in capsys.readouterr().out
+
+    def test_scheduling_table_small(self, capsys):
+        assert main(["table", "4", "--replications", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Using trust" in out
+        assert "Improvement" in out
+
+    def test_sfi(self, capsys):
+        assert main(["sfi"]) == 0
+        assert "MiSFIT" in capsys.readouterr().out
+
+    def test_figure1(self, capsys):
+        assert main(["figure1"]) == 0
+        assert "trust level table" in capsys.readouterr().out
+
+    def test_theorem(self, capsys):
+        assert main(["theorem", "mct", "--trials", "3"]) == 0
+        assert "makespan dominance" in capsys.readouterr().out
+
+    def test_run(self, capsys):
+        assert main(["run", "--heuristic", "mct", "--tasks", "10", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "trust-aware" in out
+        assert "improvement" in out
+
+    def test_run_batch_heuristic(self, capsys):
+        assert main(["run", "--heuristic", "min-min", "--tasks", "10"]) == 0
+        assert "improvement" in capsys.readouterr().out
+
+    def test_heuristics_listing(self, capsys):
+        assert main(["heuristics"]) == 0
+        out = capsys.readouterr().out
+        assert "mct" in out and "[batch ]" in out and "[online]" in out
+
+    def test_save_and_replay_scenario(self, tmp_path, capsys):
+        path = tmp_path / "scenario.json"
+        assert main(["save-scenario", str(path), "--tasks", "15", "--seed", "2"]) == 0
+        assert path.exists()
+        capsys.readouterr()
+        assert main(["replay", str(path), "--heuristic", "sufferage"]) == 0
+        out = capsys.readouterr().out
+        assert "improvement" in out

@@ -1,0 +1,56 @@
+"""Smoke tests: every example script runs end to end.
+
+Examples are the adoption surface; a broken example is a broken deliverable
+even when the library tests pass.  Each script is executed in a fresh
+interpreter (as a user would run it) with small arguments where supported.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, f"{name} failed:\n{result.stderr[-2000:]}"
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py", "2")
+        assert "improvement" in out
+        assert "trust-aware" in out
+
+    def test_trust_evolution(self):
+        out = run_example("trust_evolution.py")
+        assert "learned:" in out
+        assert "newcomer" in out
+
+    def test_security_overhead_study(self):
+        out = run_example("security_overhead_study.py")
+        assert "100 Mbps network" in out
+        assert "MiSFIT" in out
+        assert "least-squares" in out
+
+    def test_custom_heuristic(self):
+        out = run_example("custom_heuristic.py")
+        assert "trust-first-mct" in out
+
+    def test_admission_control(self):
+        out = run_example("admission_control.py")
+        assert "reject" in out
+        assert "supplemental security plan" in out
+
+    def test_heuristic_comparison_small(self):
+        out = run_example("heuristic_comparison.py", "2")
+        assert "best trust-aware heuristic" in out

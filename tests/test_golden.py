@@ -1,0 +1,93 @@
+"""Golden-file regression tests.
+
+Freeze the rendered outputs of the deterministic reproductions (Table 1,
+the transfer tables, the SFI table, one small scheduling run) against
+committed reference files, so any unintended behaviour change — a formula
+tweak, an RNG-stream reshuffle, a renderer edit — trips a diff that must be
+consciously re-frozen.
+
+To re-freeze after an *intentional* change::
+
+    python -m pytest tests/test_golden.py --force-regen  # not provided;
+    # instead delete tests/golden/<name>.txt and re-run the suite once.
+"""
+
+from pathlib import Path
+
+import pytest
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def check_golden(name: str, actual: str) -> None:
+    """Compare ``actual`` against the frozen file (creating it if absent)."""
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    path = GOLDEN_DIR / f"{name}.txt"
+    if not path.exists():
+        path.write_text(actual, encoding="utf-8")
+        pytest.skip(f"golden file {path.name} created; re-run to verify")
+    expected = path.read_text(encoding="utf-8")
+    assert actual == expected, (
+        f"output of {name!r} changed; if intentional, delete {path} and re-run"
+    )
+
+
+class TestGoldenOutputs:
+    def test_table1_rendering(self):
+        from repro.experiments.tables import reproduce_table1
+
+        check_golden("table1", reproduce_table1().rendering)
+
+    def test_table2_rendering(self):
+        from repro.experiments.tables import reproduce_table2
+
+        check_golden("table2", reproduce_table2().rendering)
+
+    def test_table3_rendering(self):
+        from repro.experiments.tables import reproduce_table3
+
+        check_golden("table3", reproduce_table3().rendering)
+
+    def test_sfi_rendering(self):
+        from repro.experiments.tables import reproduce_sfi_overheads
+
+        check_golden("sfi", reproduce_sfi_overheads().rendering)
+
+    def test_small_schedule_records(self):
+        """A full scheduling run, seed-pinned: request→machine assignments
+        and completion times must stay bit-identical."""
+        from repro import ScenarioSpec, TRMScheduler, TrustPolicy, materialize
+        from repro.scheduling import MctHeuristic
+
+        scenario = materialize(ScenarioSpec(n_tasks=12, target_load=3.0), seed=1234)
+        result = TRMScheduler(
+            scenario.grid,
+            scenario.eec,
+            TrustPolicy.aware(unaware_fraction=0.9),
+            MctHeuristic(),
+        ).run(scenario.requests)
+        lines = [
+            f"{r.request_index} -> m{r.machine_index} "
+            f"arrive={r.arrival_time:.6f} complete={r.completion_time:.6f} "
+            f"tc={r.trust_cost:.0f}"
+            for r in result.records
+        ]
+        check_golden("small_schedule", "\n".join(lines))
+
+    def test_figure1_rendering(self):
+        from repro.experiments.figures import reproduce_figure1
+
+        check_golden("figure1", reproduce_figure1().rendering)
+
+    def test_scenario_json_stable(self):
+        """The serialisation format itself is frozen (format_version 1)."""
+        import json
+
+        from repro import ScenarioSpec, materialize
+        from repro.workloads import scenario_to_dict
+
+        scenario = materialize(ScenarioSpec(n_tasks=3, n_machines=2), seed=7)
+        data = scenario_to_dict(scenario)
+        check_golden(
+            "scenario_json", json.dumps(data, indent=1, sort_keys=True)
+        )

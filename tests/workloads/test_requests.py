@@ -1,0 +1,61 @@
+"""Tests for request-stream assembly."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sim.arrivals import DeterministicProcess
+from repro.workloads.requests import build_requests, generate_request_stream
+
+
+class TestBuildRequests:
+    def test_assembles_fields(self, small_grid):
+        reqs = build_requests(
+            small_grid,
+            activity_sets=[(0,), (1, 2)],
+            arrival_times=[1.0, 2.0],
+            client_indices=[0, 1],
+        )
+        assert len(reqs) == 2
+        assert reqs[0].client is small_grid.clients[0]
+        assert reqs[1].task.activities.indices == (1, 2)
+        assert reqs[1].arrival_time == 2.0
+        assert reqs[0].client_domain_index == 0
+
+    def test_length_mismatch_rejected(self, small_grid):
+        with pytest.raises(WorkloadError):
+            build_requests(small_grid, [(0,)], [1.0, 2.0], [0])
+
+    def test_client_out_of_range(self, small_grid):
+        with pytest.raises(WorkloadError):
+            build_requests(small_grid, [(0,)], [1.0], [99])
+
+
+class TestGenerateRequestStream:
+    def test_generates_n_requests(self, small_grid, rng):
+        reqs = generate_request_stream(
+            small_grid, 25, DeterministicProcess(interval=1.0), rng
+        )
+        assert len(reqs) == 25
+        assert [r.index for r in reqs] == list(range(25))
+
+    def test_respects_toa_bounds(self, small_grid, rng):
+        reqs = generate_request_stream(
+            small_grid, 100, DeterministicProcess(interval=1.0), rng,
+            min_toas=2, max_toas=3,
+        )
+        sizes = {len(r.task.activities) for r in reqs}
+        assert sizes <= {2, 3}
+
+    def test_clients_drawn_from_grid(self, small_grid, rng):
+        reqs = generate_request_stream(
+            small_grid, 200, DeterministicProcess(interval=1.0), rng
+        )
+        used = {r.client.index for r in reqs}
+        assert used == {0, 1}
+
+    def test_negative_count_rejected(self, small_grid, rng):
+        with pytest.raises(WorkloadError):
+            generate_request_stream(
+                small_grid, -1, DeterministicProcess(interval=1.0), rng
+            )

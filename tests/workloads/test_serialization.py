@@ -1,0 +1,121 @@
+"""Tests for scenario serialisation (JSON round-trips)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.scheduling.mct import MctHeuristic
+from repro.scheduling.policy import TrustPolicy
+from repro.scheduling.scheduler import TRMScheduler
+from repro.workloads.consistency import Consistency
+from repro.workloads.heterogeneity import HIHI
+from repro.workloads.scenario import ScenarioSpec, materialize
+from repro.workloads.serialization import (
+    load_scenario,
+    save_scenario,
+    scenario_from_dict,
+    scenario_to_dict,
+)
+
+
+@pytest.fixture
+def scenario():
+    spec = ScenarioSpec(
+        n_tasks=12,
+        n_machines=4,
+        heterogeneity=HIHI,
+        consistency=Consistency.CONSISTENT,
+        target_load=2.0,
+        otl_per_pair=False,
+    )
+    return materialize(spec, seed=21)
+
+
+class TestRoundTrip:
+    def test_spec_round_trips(self, scenario):
+        rebuilt = scenario_from_dict(scenario_to_dict(scenario))
+        assert rebuilt.spec == scenario.spec
+        assert rebuilt.seed == scenario.seed
+
+    def test_grid_round_trips(self, scenario):
+        rebuilt = scenario_from_dict(scenario_to_dict(scenario))
+        g0, g1 = scenario.grid, rebuilt.grid
+        assert g1.n_machines == g0.n_machines
+        np.testing.assert_array_equal(g1.machine_rd, g0.machine_rd)
+        np.testing.assert_array_equal(g1.client_cd, g0.client_cd)
+        np.testing.assert_array_equal(g1.rd_required, g0.rd_required)
+        np.testing.assert_array_equal(g1.cd_required, g0.cd_required)
+        np.testing.assert_array_equal(
+            g1.trust_table.levels, g0.trust_table.levels
+        )
+        assert g1.trust_table.ets.f_forces_max == g0.trust_table.ets.f_forces_max
+
+    def test_eec_and_requests_round_trip(self, scenario):
+        rebuilt = scenario_from_dict(scenario_to_dict(scenario))
+        np.testing.assert_allclose(rebuilt.eec, scenario.eec)
+        assert len(rebuilt.requests) == len(scenario.requests)
+        for a, b in zip(scenario.requests, rebuilt.requests):
+            assert a.index == b.index
+            assert a.arrival_time == b.arrival_time
+            assert a.client.index == b.client.index
+            assert a.task.activities.indices == b.task.activities.indices
+
+    def test_schedule_identical_after_round_trip(self, scenario):
+        """The acid test: scheduling the rebuilt scenario gives identical
+        completion times."""
+        rebuilt = scenario_from_dict(scenario_to_dict(scenario))
+        policy = TrustPolicy.aware()
+        a = TRMScheduler(scenario.grid, scenario.eec, policy, MctHeuristic()).run(
+            scenario.requests
+        )
+        b = TRMScheduler(rebuilt.grid, rebuilt.eec, policy, MctHeuristic()).run(
+            rebuilt.requests
+        )
+        assert [r.completion_time for r in a.records] == [
+            r.completion_time for r in b.records
+        ]
+
+    def test_file_round_trip(self, scenario, tmp_path):
+        path = save_scenario(scenario, tmp_path / "scenario.json")
+        rebuilt = load_scenario(path)
+        np.testing.assert_allclose(rebuilt.eec, scenario.eec)
+        # The file is plain JSON.
+        data = json.loads(path.read_text())
+        assert data["format_version"] == 1
+
+
+class TestValidation:
+    def test_unknown_version_rejected(self, scenario):
+        data = scenario_to_dict(scenario)
+        data["format_version"] = 99
+        with pytest.raises(WorkloadError, match="version"):
+            scenario_from_dict(data)
+
+    def test_unknown_heterogeneity_rejected(self, scenario):
+        data = scenario_to_dict(scenario)
+        data["spec"]["heterogeneity"] = "MedMed"
+        with pytest.raises(WorkloadError):
+            scenario_from_dict(data)
+
+
+class TestSerializationProperties:
+    @pytest.mark.parametrize("seed", [0, 7, 42])
+    @pytest.mark.parametrize("otl_per_pair", [True, False])
+    def test_round_trip_any_spec(self, seed, otl_per_pair):
+        """Round-trips hold across spec variations, not just the fixture."""
+        spec = ScenarioSpec(
+            n_tasks=6,
+            n_machines=3,
+            target_load=2.0,
+            otl_per_pair=otl_per_pair,
+            ets_f_forces_max=not otl_per_pair,
+        )
+        sc = materialize(spec, seed=seed)
+        rebuilt = scenario_from_dict(scenario_to_dict(sc))
+        assert rebuilt.spec == sc.spec
+        np.testing.assert_allclose(rebuilt.eec, sc.eec)
+        np.testing.assert_array_equal(
+            rebuilt.grid.trust_table.levels, sc.grid.trust_table.levels
+        )

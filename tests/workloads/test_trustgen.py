@@ -1,0 +1,79 @@
+"""Tests for trust-attribute sampling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.trustgen import (
+    sample_activity_sets,
+    sample_offered_table,
+    sample_required_levels,
+)
+
+
+class TestSampleRequiredLevels:
+    def test_range_is_paper_range(self, rng):
+        levels = sample_required_levels(5000, rng)
+        assert levels.min() >= 1 and levels.max() <= 6
+        assert set(np.unique(levels)) == {1, 2, 3, 4, 5, 6}
+
+    def test_custom_bounds(self, rng):
+        levels = sample_required_levels(1000, rng, low=2, high=3)
+        assert set(np.unique(levels)) <= {2, 3}
+
+    def test_invalid_bounds(self, rng):
+        with pytest.raises(WorkloadError):
+            sample_required_levels(10, rng, low=0)
+        with pytest.raises(WorkloadError):
+            sample_required_levels(10, rng, low=4, high=2)
+        with pytest.raises(WorkloadError):
+            sample_required_levels(0, rng)
+
+
+class TestSampleOfferedTable:
+    def test_shape_and_range(self, rng):
+        table = sample_offered_table(3, 4, 2, rng)
+        assert table.shape == (3, 4, 2)
+        assert table.min() >= 1 and table.max() <= 5
+
+    def test_never_offers_f(self, rng):
+        table = sample_offered_table(10, 10, 4, rng)
+        assert table.max() <= 5
+
+    def test_invalid_dims(self, rng):
+        with pytest.raises(WorkloadError):
+            sample_offered_table(0, 1, 1, rng)
+
+    def test_invalid_bounds(self, rng):
+        with pytest.raises(WorkloadError):
+            sample_offered_table(1, 1, 1, rng, high=6)
+
+
+class TestSampleActivitySets:
+    def test_sizes_within_paper_bounds(self, rng):
+        sets = sample_activity_sets(2000, 4, rng)
+        sizes = {len(s) for s in sets}
+        assert sizes == {1, 2, 3, 4}
+
+    def test_no_duplicate_activities_within_set(self, rng):
+        for s in sample_activity_sets(500, 4, rng):
+            assert len(set(s)) == len(s)
+
+    def test_indices_in_catalog(self, rng):
+        for s in sample_activity_sets(200, 3, rng, max_toas=3):
+            assert all(0 <= a < 3 for a in s)
+
+    def test_cap_at_catalog_size(self, rng):
+        sets = sample_activity_sets(100, 2, rng, max_toas=4)
+        assert max(len(s) for s in sets) <= 2
+
+    def test_zero_requests(self, rng):
+        assert sample_activity_sets(0, 4, rng) == []
+
+    def test_invalid_parameters(self, rng):
+        with pytest.raises(WorkloadError):
+            sample_activity_sets(-1, 4, rng)
+        with pytest.raises(WorkloadError):
+            sample_activity_sets(1, 0, rng)
+        with pytest.raises(WorkloadError):
+            sample_activity_sets(1, 4, rng, min_toas=3, max_toas=2)
