@@ -1,0 +1,53 @@
+"""Extension bench — fault injection and failure-driven trust evolution.
+
+One resource domain crashes most execution attempts; failures are fed to
+the client-domain agents as maximally unsatisfactory transactions.  Over a
+few closed-loop rounds the trust-aware MCT learns to route around the
+flaky domain, while the trust-unaware baseline keeps paying for retries:
+the aware side must show strictly higher goodput *and* a strictly lower
+wasted-work fraction on every seed, with every submitted request accounted
+for exactly once (completed + dropped + rejected).
+"""
+
+from conftest import save_and_echo
+
+from repro.experiments import run_fault_recovery
+from repro.metrics.report import Table, format_percent
+
+SEEDS = (1, 2, 3)
+
+
+def test_fault_recovery(benchmark, results_dir):
+    def run_all():
+        return {seed: run_fault_recovery(seed=seed) for seed in SEEDS}
+
+    studies = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    table = Table(
+        headers=[
+            "Seed", "Policy", "Completed", "Dropped", "Failures",
+            "Goodput", "Wasted work",
+        ],
+        title="Fault recovery: trust-aware vs unaware MCT under a flaky RD.",
+    )
+    for seed, study in studies.items():
+        for o in (study.unaware, study.aware):
+            table.add_row(
+                seed,
+                o.label,
+                f"{o.completed}/{o.submitted}",
+                o.dropped,
+                o.failures,
+                f"{o.goodput:.5f}",
+                format_percent(o.wasted_work_fraction),
+            )
+    save_and_echo(results_dir, "fault_recovery", table.render())
+
+    for study in studies.values():
+        for o in (study.aware, study.unaware):
+            assert o.completed + o.dropped + o.rejected == o.submitted
+        assert study.aware.goodput > study.unaware.goodput
+        assert (
+            study.aware.wasted_work_fraction
+            < study.unaware.wasted_work_fraction
+        )

@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.core import MinEvidencePolicy
 from repro.grid import ActivityCatalog, AgentFleet, GridBuilder
-from repro.metrics import format_percent, format_seconds
+from repro.metrics import format_seconds
 from repro.scheduling import MctHeuristic, TRMScheduler, TrustPolicy
 from repro.sim import RngFactory
 from repro.workloads import LOLO, generate_request_stream, range_based_matrix

@@ -26,6 +26,7 @@ from repro.core import (
     TrustTable,
     expected_trust_supplement,
 )
+from repro.faults import FaultInjector, FaultModel, RetryPolicy
 from repro.grid import Grid, GridBuilder, GridTrustTable
 from repro.scheduling import (
     ScheduleResult,
@@ -45,6 +46,9 @@ __all__ = [
     "TrustLevel",
     "TrustTable",
     "expected_trust_supplement",
+    "FaultInjector",
+    "FaultModel",
+    "RetryPolicy",
     "Grid",
     "GridBuilder",
     "GridTrustTable",

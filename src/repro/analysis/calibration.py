@@ -24,7 +24,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.experiments.runner import run_single
 from repro.scheduling.policy import TRUST_WEIGHT, TrustPolicy

@@ -8,6 +8,7 @@ Subcommands::
     repro-trms figure1              # the architecture diagram
     repro-trms theorem mct          # empirical makespan-dominance check
     repro-trms run --heuristic mct --tasks 50 --seed 1   # one simulation
+    repro-trms faults               # fault-injection resilience comparison
 """
 
 from __future__ import annotations
@@ -83,6 +84,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_sess.add_argument("--rounds", type=int, default=6)
     p_sess.add_argument("--requests", type=int, default=40)
     p_sess.add_argument("--seed", type=int, default=0)
+
+    p_faults = sub.add_parser(
+        "faults", help="fault injection: trust-aware vs unaware resilience"
+    )
+    p_faults.add_argument("--rounds", type=int, default=8)
+    p_faults.add_argument("--requests", type=int, default=30)
+    p_faults.add_argument("--seed", type=int, default=0)
+    p_faults.add_argument("--heuristic", default="mct")
+    p_faults.add_argument(
+        "--crash-prob", type=float, default=0.6,
+        help="per-attempt crash probability on the flaky domain (default 0.6)",
+    )
+    p_faults.add_argument(
+        "--mtbf", type=float, default=None,
+        help="also fail whole machines with this mean time between failures",
+    )
+    p_faults.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="execution attempts before a request is dropped (default 3)",
+    )
 
     p_val = sub.add_parser(
         "validate", help="run the codified acceptance checks of DESIGN.md"
@@ -222,6 +243,13 @@ def _dispatch(args) -> int:
         print(_cmd_ablations(args.replications))
     elif args.command == "session":
         print(_cmd_session(args.rounds, args.requests, args.seed))
+    elif args.command == "faults":
+        print(
+            _cmd_faults(
+                args.rounds, args.requests, args.seed, args.heuristic,
+                args.crash_prob, args.mtbf, args.max_attempts,
+            )
+        )
     elif args.command == "validate":
         from repro.experiments import validate_reproduction
 
@@ -350,6 +378,58 @@ def _cmd_ablations(replications: int) -> str:
             value = getattr(p.value, "value", p.value)
             table.add_row(knob, str(value), format_percent(p.improvement))
     return table.render()
+
+
+def _cmd_faults(
+    rounds: int,
+    requests: int,
+    seed: int,
+    heuristic: str,
+    crash_prob: float,
+    mtbf: float | None,
+    max_attempts: int,
+) -> str:
+    from repro.experiments import PAPER_BATCH_INTERVAL, run_fault_recovery
+    from repro.faults import RetryPolicy
+    from repro.metrics import Table, format_percent
+    from repro.scheduling import is_batch
+
+    study = run_fault_recovery(
+        seed=seed,
+        rounds=rounds,
+        requests_per_round=requests,
+        heuristic=heuristic,
+        batch_interval=PAPER_BATCH_INTERVAL if is_batch(heuristic) else None,
+        flaky_crash_prob=crash_prob,
+        mtbf=mtbf,
+        retry=RetryPolicy(max_attempts=max_attempts),
+    )
+    table = Table(
+        headers=[
+            "Policy", "Completed", "Dropped", "Failures",
+            "Goodput", "Wasted work",
+        ],
+        title=(
+            f"Fault recovery under a flaky domain ({heuristic}, "
+            f"crash prob {crash_prob:g}, {rounds} rounds):"
+        ),
+    )
+    for o in (study.unaware, study.aware):
+        table.add_row(
+            o.label,
+            f"{o.completed}/{o.submitted}",
+            o.dropped,
+            o.failures,
+            f"{o.goodput:.5f}",
+            format_percent(o.wasted_work_fraction),
+        )
+    lines = [
+        table.render(),
+        "",
+        f"goodput gain: {format_percent(study.goodput_gain)}   "
+        f"wasted-work reduction: {study.waste_reduction:+.1%}",
+    ]
+    return "\n".join(lines)
 
 
 def _cmd_session(rounds: int, requests: int, seed: int) -> str:

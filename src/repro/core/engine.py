@@ -12,7 +12,7 @@ direct relationship with x than the reputation of y, α will be larger than
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.context import TrustContext
 from repro.core.decay import DecayFunction, NoDecay

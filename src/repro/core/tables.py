@@ -21,7 +21,7 @@ Helpers convert between the continuous scale and the six discrete levels of
 from __future__ import annotations
 
 from collections.abc import Hashable, Iterator
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.context import TrustContext
 from repro.core.levels import TrustLevel

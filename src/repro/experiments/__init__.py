@@ -13,6 +13,11 @@ from repro.experiments.config import (
     paper_spec,
     table_config,
 )
+from repro.experiments.faulttol import (
+    FaultPolicyOutcome,
+    FaultRecoveryStudy,
+    run_fault_recovery,
+)
 from repro.experiments.figures import (
     Figure1,
     improvement_vs_load_series,
@@ -56,6 +61,9 @@ __all__ = [
     "paper_policies",
     "paper_spec",
     "table_config",
+    "FaultPolicyOutcome",
+    "FaultRecoveryStudy",
+    "run_fault_recovery",
     "Figure1",
     "improvement_vs_load_series",
     "reproduce_figure1",

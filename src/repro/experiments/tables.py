@@ -10,7 +10,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
-import numpy as np
 
 from repro.core.ets import EtsTable
 from repro.experiments.config import (

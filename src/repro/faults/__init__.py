@@ -1,0 +1,31 @@
+"""Fault injection and recovery: machine up-down processes, per-task crash
+models, retry policies, and the failure records the scheduler emits.
+
+The paper's premise is that Grid resources are unreliable and trust must be
+earned from transaction *outcomes*; this subsystem makes outcomes able to go
+wrong.  It is strictly opt-in — with no :class:`FaultModel` configured, the
+scheduler's behaviour (and every RNG draw) is bit-identical to a fault-free
+build.
+"""
+
+from repro.faults.injector import AttemptOutcome, FaultInjector
+from repro.faults.model import (
+    FaultModel,
+    MachineFailureModel,
+    MachineTimeline,
+    TaskFailureModel,
+)
+from repro.faults.records import FailureEvent, FailureKind
+from repro.faults.retry import RetryPolicy
+
+__all__ = [
+    "AttemptOutcome",
+    "FaultInjector",
+    "FaultModel",
+    "MachineFailureModel",
+    "MachineTimeline",
+    "TaskFailureModel",
+    "FailureEvent",
+    "FailureKind",
+    "RetryPolicy",
+]

@@ -13,7 +13,7 @@ tables can be stored as NumPy arrays, plus a bridge to the generic
 from __future__ import annotations
 
 from collections.abc import Iterable, Iterator, Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.context import TrustContext
 

@@ -17,7 +17,7 @@ needed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.levels import TrustLevel
 from repro.grid.activities import ActivityType

@@ -11,7 +11,7 @@ scheduler needs (available time ``α_i`` and busy-time accounting).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.grid.domain import ResourceDomain
 
@@ -54,14 +54,18 @@ class MachineState:
         available_time: the paper's ``α_i`` — the time at which the machine
             finishes everything currently assigned to it.
         busy_time: total time spent executing assigned work (for the
-            utilisation metric of Tables 4–9).
-        assigned_count: number of requests assigned so far.
+            utilisation metric of Tables 4–9); under fault injection this
+            includes the wasted time of failed attempts — failed work is
+            still paid for.
+        assigned_count: number of execution attempts booked so far.
+        failed_count: how many of those attempts failed.
     """
 
     machine: Machine
     available_time: float = 0.0
     busy_time: float = 0.0
     assigned_count: int = 0
+    failed_count: int = 0
 
     def assign(self, start: float, cost: float) -> float:
         """Book ``cost`` units of work beginning no earlier than ``start``.
@@ -82,6 +86,35 @@ class MachineState:
         self.busy_time += cost
         self.assigned_count += 1
         return self.available_time
+
+    def book_attempt(
+        self, executed: float, next_free: float, *, failed: bool = False
+    ) -> None:
+        """Book one fault-resolved execution attempt.
+
+        Unlike :meth:`assign`, the caller has already resolved when the
+        attempt ends (possibly early, on failure) and when the machine can
+        take new work (possibly later than the attempt's end, when a
+        machine failure leaves it in repair).
+
+        Args:
+            executed: machine time the attempt actually consumed.
+            next_free: when the machine becomes available again; must not
+                precede what is already booked.
+            failed: whether the attempt died (counts toward ``failed_count``).
+        """
+        if executed < 0:
+            raise ValueError(f"executed time must be non-negative, got {executed}")
+        if next_free < self.available_time:
+            raise ValueError(
+                f"next_free {next_free} precedes booked work ending at "
+                f"{self.available_time}"
+            )
+        self.available_time = next_free
+        self.busy_time += executed
+        self.assigned_count += 1
+        if failed:
+            self.failed_count += 1
 
     def utilization(self, horizon: float) -> float:
         """Fraction of ``[0, horizon]`` this machine spent busy.

@@ -28,6 +28,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.faults.model import FaultModel
+from repro.faults.records import FailureEvent
+from repro.faults.retry import RetryPolicy
 from repro.grid.agents import AgentFleet
 from repro.grid.behavior import BehaviorModel
 from repro.grid.topology import Grid
@@ -56,6 +59,10 @@ class RoundResult:
         mean_trust_cost: mean TC of the round's realised assignments.
         published_updates: trust-table updates triggered by this round.
         table_levels: snapshot of the trust-level table after the round.
+        rejected: how many of the round's requests were refused admission.
+        failures: failed execution attempts during the round (0 without
+            fault injection).
+        dropped: requests abandoned after retry exhaustion.
     """
 
     index: int
@@ -63,6 +70,9 @@ class RoundResult:
     mean_trust_cost: float
     published_updates: int
     table_levels: np.ndarray
+    rejected: int = 0
+    failures: int = 0
+    dropped: int = 0
 
 
 @dataclass(frozen=True)
@@ -96,6 +106,21 @@ class SessionResult:
         """Total trust-table updates over the whole session."""
         return sum(r.published_updates for r in self.rounds)
 
+    @property
+    def goodput_series(self) -> list[float]:
+        """Goodput (completions per unit time) per round."""
+        return [r.schedule.goodput for r in self.rounds]
+
+    @property
+    def total_failures(self) -> int:
+        """Failed execution attempts over the whole session."""
+        return sum(r.failures for r in self.rounds)
+
+    @property
+    def total_dropped(self) -> int:
+        """Requests dropped after retry exhaustion over the session."""
+        return sum(r.dropped for r in self.rounds)
+
     def __len__(self) -> int:
         return len(self.rounds)
 
@@ -122,6 +147,15 @@ class GridSession:
             with a REJECT policy, refused requests show up in the round's
             schedule result (and still count toward nothing — no agent
             observation happens for them).
+        faults: optional fault model; each round gets a fresh injector off
+            the round's random streams, so fault processes are reproducible
+            per (seed, round) and independent of the workload draws.
+        retry: recovery policy for failed requests; requires ``faults``.
+        failure_satisfaction: the satisfaction value a failed attempt feeds
+            to the observing agents — by default 0.0, a maximally
+            unsatisfactory transaction, so failures actively erode the
+            offending domain's trust and trust-aware scheduling learns to
+            route around flaky domains.
     """
 
     grid: Grid
@@ -135,6 +169,9 @@ class GridSession:
     fleet: AgentFleet | None = None
     score_clients: bool = False
     constraint: "TrustConstraint | None" = None
+    faults: FaultModel | None = None
+    retry: RetryPolicy | None = None
+    failure_satisfaction: float = 0.0
 
     _now: float = field(default=0.0, init=False)
     _round: int = field(default=0, init=False)
@@ -147,6 +184,12 @@ class GridSession:
         if self.fleet.grid_table is not self.grid.trust_table:
             raise ConfigurationError(
                 "the agent fleet must maintain this grid's trust table"
+            )
+        if self.retry is not None and self.faults is None:
+            raise ConfigurationError("a retry policy requires a fault model")
+        if not 0.0 <= self.failure_satisfaction <= 1.0:
+            raise ConfigurationError(
+                "failure_satisfaction must lie in [0, 1]"
             )
         self._rng = RngFactory(seed=self.seed)
         self._behavior_rng = self._rng.stream("behavior")
@@ -185,6 +228,13 @@ class GridSession:
         interval = (
             self.batch_interval if isinstance(heuristic, BatchHeuristic) else None
         )
+        injector = None
+        on_failure = None
+        if self.faults is not None and self.faults.enabled:
+            injector = self.faults.injector(
+                round_rng.child("faults"), start=self._now
+            )
+            on_failure = self._score_failure(requests)
         scheduler = TRMScheduler(
             self.grid,
             eec,
@@ -193,10 +243,13 @@ class GridSession:
             batch_interval=interval,
             on_complete=self._score_completion(requests),
             constraint=self.constraint,
+            faults=injector,
+            retry=self.retry if injector is not None else None,
+            on_failure=on_failure,
         )
         result = scheduler.run(requests)
 
-        self._now = max(self._now, result.makespan)
+        self._now = max(self._now, result.effective_makespan)
         self._round += 1
         tcs = [r.trust_cost for r in result.records]
         return RoundResult(
@@ -205,6 +258,9 @@ class GridSession:
             mean_trust_cost=float(np.mean(tcs)) if tcs else 0.0,
             published_updates=self.fleet.total_published() - published_before,
             table_levels=self.grid.trust_table.levels.copy(),
+            rejected=result.n_rejected,
+            failures=len(result.failures),
+            dropped=result.n_dropped,
         )
 
     def run(self, rounds: int, requests_per_round: int) -> SessionResult:
@@ -237,5 +293,22 @@ class GridSession:
                 self.fleet.rd_agents[rd_index].observe_transaction(
                     cd_index, activity, satisfaction, record.completion_time
                 )
+
+        return hook
+
+    def _score_failure(self, requests):
+        by_index = {r.index: r for r in requests}
+
+        def hook(failure: FailureEvent) -> None:
+            request = by_index[failure.request_index]
+            rd_index = int(self.grid.machine_rd[failure.machine_index])
+            cd_index = request.client_domain_index
+            activity = request.task.activities.activities[0]
+            # A failed attempt is observed as a (strongly) unsatisfactory
+            # transaction — no behaviour sampling, the outcome is a fact.
+            self.fleet.cd_agents[cd_index].observe_transaction(
+                rd_index, activity, self.failure_satisfaction,
+                failure.failure_time,
+            )
 
         return hook

@@ -6,6 +6,8 @@ from repro.metrics.report import Table, format_percent, format_seconds
 from repro.metrics.schedule import (
     average_completion_time,
     domain_fairness,
+    effective_makespan,
+    goodput,
     jain_fairness,
     average_flow_time,
     average_utilization,
@@ -14,6 +16,8 @@ from repro.metrics.schedule import (
     makespan,
     per_domain_completion,
     waiting_times,
+    wasted_work,
+    wasted_work_fraction,
 )
 
 __all__ = [
@@ -32,4 +36,8 @@ __all__ = [
     "makespan",
     "per_domain_completion",
     "waiting_times",
+    "effective_makespan",
+    "goodput",
+    "wasted_work",
+    "wasted_work_fraction",
 ]

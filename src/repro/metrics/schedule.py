@@ -13,6 +13,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro.faults.records import FailureEvent
 from repro.scheduling.result import CompletionRecord
 
 __all__ = [
@@ -26,6 +27,10 @@ __all__ = [
     "waiting_times",
     "jain_fairness",
     "domain_fairness",
+    "effective_makespan",
+    "wasted_work",
+    "wasted_work_fraction",
+    "goodput",
 ]
 
 
@@ -122,6 +127,57 @@ def domain_fairness(
         sums.setdefault(cd, []).append(r.flow_time)
     means = [float(np.mean(v)) for v in sums.values()]
     return jain_fairness(means)
+
+
+def effective_makespan(
+    records: Sequence[CompletionRecord],
+    failures: Sequence[FailureEvent] = (),
+) -> float:
+    """Latest instant the schedule touched the system.
+
+    The makespan extended past the last completion when a failure outlives
+    it (a dropped request's final attempt can be the last thing that
+    happens); equals :func:`makespan` without failures.
+    """
+    last_failure = max((f.failure_time for f in failures), default=0.0)
+    return max(makespan(records), last_failure)
+
+
+def wasted_work(failures: Sequence[FailureEvent]) -> float:
+    """Machine time consumed by failed attempts — work paid for nothing."""
+    return float(sum(f.wasted_work for f in failures))
+
+
+def wasted_work_fraction(
+    records: Sequence[CompletionRecord],
+    failures: Sequence[FailureEvent],
+) -> float:
+    """Wasted machine time as a fraction of all booked machine time.
+
+    0 for a fault-free schedule; approaching 1 means machines spend nearly
+    all their time on attempts that die.
+    """
+    wasted = wasted_work(failures)
+    total = float(sum(r.realized_cost for r in records)) + wasted
+    if total == 0:
+        return 0.0
+    return wasted / total
+
+
+def goodput(
+    records: Sequence[CompletionRecord],
+    failures: Sequence[FailureEvent] = (),
+) -> float:
+    """Completed requests per unit time over the effective makespan.
+
+    The resilience headline: retries that eventually succeed still count,
+    but the time lost to failures (and to failure tails past the last
+    completion) divides it down.
+    """
+    horizon = effective_makespan(records, failures)
+    if horizon <= 0:
+        return 0.0
+    return len(records) / horizon
 
 
 def per_domain_completion(

@@ -40,6 +40,7 @@ class CostProvider:
     policy: TrustPolicy
     constraint: TrustConstraint | None = None
     _tc_cache: dict[int, np.ndarray] = field(default_factory=dict, repr=False)
+    _excluded: dict[int, set[int]] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
         self.eec = np.asarray(self.eec, dtype=np.float64)
@@ -92,7 +93,40 @@ class CostProvider:
         row = self.policy.mapping_ecc(self.eec_row(request), tc)
         if self.constraint is not None:
             row = self.constraint.apply(row, tc)
+        excluded = self._excluded.get(request.index)
+        if excluded:
+            row = row.copy()
+            row[list(excluded)] = np.inf
         return row
+
+    # -- retry support -------------------------------------------------------
+
+    def exclude(self, request_index: int, machine_index: int) -> None:
+        """Price ``machine_index`` at ``+inf`` for this request's mapping.
+
+        Used by the retry path: a machine that already failed a request is
+        excluded from its re-mapping (for heuristics that read mapping
+        costs; cost-blind heuristics like OLB see no difference).
+        """
+        if not 0 <= machine_index < self.grid.n_machines:
+            raise ConfigurationError(f"machine index {machine_index} out of range")
+        self._excluded.setdefault(request_index, set()).add(machine_index)
+
+    def exclusions(self, request_index: int) -> frozenset[int]:
+        """Machines currently excluded for ``request_index``."""
+        return frozenset(self._excluded.get(request_index, ()))
+
+    def clear_exclusions(self, request_index: int) -> None:
+        """Drop all exclusions of one request (relaxation fallback)."""
+        self._excluded.pop(request_index, None)
+
+    def invalidate_trust_cache(self, request_index: int) -> None:
+        """Forget the cached TC row of one request.
+
+        Retried requests are re-priced so a re-mapping decision sees trust
+        levels as evolved by the failures observed meanwhile.
+        """
+        self._tc_cache.pop(request_index, None)
 
     def is_feasible(self, request: Request) -> bool:
         """Whether at least one machine may legally host ``request``.

@@ -4,16 +4,22 @@ The scheduler emits one :class:`CompletionRecord` per request; a
 :class:`ScheduleResult` bundles them with the final machine states and
 exposes the metrics the paper's tables report (makespan, average completion
 time, machine utilisation) plus a few extras (flow time, security cost
-share).
+share).  Under fault injection the result additionally carries one
+:class:`~repro.faults.records.FailureEvent` per failed execution attempt
+and the indices of requests dropped after retry exhaustion, and derives the
+resilience metrics (goodput, wasted-work fraction, effective makespan).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections import Counter
+from dataclasses import dataclass, field
 from functools import cached_property
+from typing import Any
 
 import numpy as np
 
+from repro.faults.records import FailureEvent
 from repro.grid.machine import MachineState
 
 __all__ = ["CompletionRecord", "ScheduleResult"]
@@ -35,6 +41,8 @@ class CompletionRecord:
         realized_cost: total booked cost (EEC + realised security cost).
         trust_cost: the TC of the pairing (0..6); informational even for
             trust-unaware runs.
+        attempt: 1-based execution attempt that succeeded (1 = first try;
+            anything higher means earlier attempts failed and were retried).
     """
 
     request_index: int
@@ -46,12 +54,15 @@ class CompletionRecord:
     eec: float
     realized_cost: float
     trust_cost: float
+    attempt: int = 1
 
     def __post_init__(self) -> None:
         if self.completion_time < self.start_time:
             raise ValueError("completion cannot precede start")
         if self.start_time < self.arrival_time:
             raise ValueError("execution cannot start before arrival")
+        if self.attempt < 1:
+            raise ValueError("attempt numbers are 1-based")
 
     @property
     def flow_time(self) -> float:
@@ -71,10 +82,16 @@ class ScheduleResult:
     Attributes:
         heuristic: registry name of the heuristic used.
         policy_label: ``"trust-aware"`` or ``"trust-unaware"``.
-        records: one completion record per *mapped* request, request order.
+        records: one completion record per *completed* request, request order.
         machine_states: final per-machine bookkeeping.
         rejected: indices of requests refused by a hard trust constraint
             (empty unless a ``REJECT`` admission policy was active).
+        rejection_reasons: request index → short reason tag for each
+            rejection (e.g. ``"constraint-infeasible"``).
+        failures: one entry per failed execution attempt, in failure-time
+            order (empty without fault injection).
+        dropped: indices of requests abandoned after exhausting their
+            retry attempts, sorted.
     """
 
     heuristic: str
@@ -82,14 +99,49 @@ class ScheduleResult:
     records: tuple[CompletionRecord, ...]
     machine_states: tuple[MachineState, ...]
     rejected: tuple[int, ...] = ()
+    rejection_reasons: dict[int, str] = field(default_factory=dict)
+    failures: tuple[FailureEvent, ...] = ()
+    dropped: tuple[int, ...] = ()
+
+    # -- request accounting --------------------------------------------------
+
+    @property
+    def n_completed(self) -> int:
+        """Number of requests that ran to completion."""
+        return len(self.records)
+
+    @property
+    def n_rejected(self) -> int:
+        """Number of requests refused admission."""
+        return len(self.rejected)
+
+    @property
+    def n_dropped(self) -> int:
+        """Number of requests abandoned after retry exhaustion."""
+        return len(self.dropped)
+
+    @property
+    def n_submitted(self) -> int:
+        """Every request the run saw: completed + rejected + dropped."""
+        return self.n_completed + self.n_rejected + self.n_dropped
 
     @property
     def rejection_rate(self) -> float:
         """Fraction of submitted requests refused admission."""
-        total = len(self.records) + len(self.rejected)
+        total = self.n_submitted
         if total == 0:
             return 0.0
-        return len(self.rejected) / total
+        return self.n_rejected / total
+
+    @property
+    def drop_rate(self) -> float:
+        """Fraction of submitted requests dropped after retries."""
+        total = self.n_submitted
+        if total == 0:
+            return 0.0
+        return self.n_dropped / total
+
+    # -- the paper's metrics -------------------------------------------------
 
     @cached_property
     def makespan(self) -> float:
@@ -136,6 +188,71 @@ class ScheduleResult:
         if self.total_eec == 0:
             return 0.0
         return self.total_security_cost / self.total_eec
+
+    # -- resilience metrics --------------------------------------------------
+
+    @cached_property
+    def effective_makespan(self) -> float:
+        """Latest instant the run touched the system.
+
+        Extends the makespan past the last completion when a failure (or
+        the wasted tail of a dropped request) outlives it; identical to
+        :attr:`makespan` for fault-free runs.
+        """
+        last_failure = max((f.failure_time for f in self.failures), default=0.0)
+        return max(self.makespan, last_failure)
+
+    @cached_property
+    def total_wasted_work(self) -> float:
+        """Machine time consumed by failed attempts (work paid for nothing)."""
+        return float(sum(f.wasted_work for f in self.failures))
+
+    @property
+    def wasted_work_fraction(self) -> float:
+        """Wasted machine time as a fraction of all booked machine time."""
+        useful = float(sum(r.realized_cost for r in self.records))
+        total = useful + self.total_wasted_work
+        if total == 0:
+            return 0.0
+        return self.total_wasted_work / total
+
+    @property
+    def goodput(self) -> float:
+        """Completed requests per unit time over the effective makespan."""
+        horizon = self.effective_makespan
+        if horizon <= 0:
+            return 0.0
+        return self.n_completed / horizon
+
+    @cached_property
+    def total_attempts(self) -> int:
+        """Execution attempts booked on machines (completions + failures)."""
+        return self.n_completed + len(self.failures)
+
+    def summary(self) -> dict[str, Any]:
+        """Headline accounting of the run as a plain dictionary.
+
+        Every submitted request is accounted for exactly once:
+        ``completed + rejected + dropped == submitted``.  Rejection reasons
+        are aggregated into ``reason -> count``.
+        """
+        return {
+            "heuristic": self.heuristic,
+            "policy": self.policy_label,
+            "submitted": self.n_submitted,
+            "completed": self.n_completed,
+            "rejected": self.n_rejected,
+            "dropped": self.n_dropped,
+            "rejection_reasons": dict(
+                sorted(Counter(self.rejection_reasons.values()).items())
+            ),
+            "failures": len(self.failures),
+            "makespan": self.makespan,
+            "effective_makespan": self.effective_makespan,
+            "goodput": self.goodput,
+            "wasted_work": self.total_wasted_work,
+            "wasted_work_fraction": self.wasted_work_fraction,
+        }
 
     def __len__(self) -> int:
         return len(self.records)

@@ -20,6 +20,17 @@ differ from what the machines then pay.
 An optional ``on_complete`` hook fires (as a simulation event, at the
 request's completion time) for each finished request — this is where the
 Figure-1 trust agents plug in.
+
+**Fault injection and recovery** are strictly opt-in: with a
+:class:`~repro.faults.injector.FaultInjector` installed, execution attempts
+may die (task crashes, machine downtimes).  A failed attempt releases its
+machine — the wasted work stays on the books — fires an ``on_failure`` hook
+(where agents observe the failure as a strongly-unsatisfactory
+transaction), and the :class:`~repro.faults.retry.RetryPolicy` decides
+whether the request re-enters the normal immediate/batch path (optionally
+excluding machines that already failed it, after an exponential backoff) or
+is dropped.  Every request settles exactly once: completed, rejected, or
+dropped.
 """
 
 from __future__ import annotations
@@ -29,6 +40,9 @@ from collections.abc import Callable, Sequence
 import numpy as np
 
 from repro.errors import ConfigurationError, SchedulingError
+from repro.faults.injector import FaultInjector
+from repro.faults.records import FailureEvent
+from repro.faults.retry import RetryPolicy
 from repro.grid.machine import MachineState
 from repro.grid.request import MetaRequest, Request
 from repro.grid.topology import Grid
@@ -44,6 +58,10 @@ from repro.sim.trace import Tracer
 __all__ = ["TRMScheduler"]
 
 CompletionHook = Callable[[CompletionRecord], None]
+FailureHook = Callable[[FailureEvent], None]
+
+#: Reason tag recorded for constraint-driven rejections.
+REASON_CONSTRAINT = "constraint-infeasible"
 
 
 class TRMScheduler:
@@ -57,8 +75,15 @@ class TRMScheduler:
         batch_interval: meta-request formation period; required for batch
             heuristics, rejected for immediate ones.
         tracer: optional tracer receiving ``arrival``/``batch``/``assign``
-            entries.
+            entries (plus ``retry``/``failure``/``drop`` and
+            ``machine-down``/``machine-up`` under fault injection).
         on_complete: optional hook fired at each request's completion time.
+        faults: optional fault injector; installs the failure model.
+        retry: recovery policy for failed requests; defaults to
+            ``RetryPolicy()`` when ``faults`` is given, and must be omitted
+            otherwise.
+        on_failure: optional hook fired at each failed attempt's failure
+            time (the trust-evolution entry point for failures).
     """
 
     def __init__(
@@ -72,6 +97,9 @@ class TRMScheduler:
         tracer: Tracer | None = None,
         on_complete: CompletionHook | None = None,
         constraint: "TrustConstraint | None" = None,
+        faults: FaultInjector | None = None,
+        retry: RetryPolicy | None = None,
+        on_failure: FailureHook | None = None,
     ) -> None:
         self.grid = grid
         self.policy = policy
@@ -81,6 +109,20 @@ class TRMScheduler:
         )
         self.tracer = tracer if tracer is not None else Tracer.disabled()
         self.on_complete = on_complete
+        self.on_failure = on_failure
+
+        if faults is None and retry is not None:
+            raise ConfigurationError(
+                "a retry policy without a fault injector has nothing to retry"
+            )
+        if faults is None and on_failure is not None:
+            raise ConfigurationError(
+                "an on_failure hook without a fault injector never fires"
+            )
+        self.faults = faults
+        self.retry = (
+            retry if retry is not None else (RetryPolicy() if faults else None)
+        )
 
         if isinstance(heuristic, BatchHeuristic):
             if batch_interval is None or batch_interval <= 0:
@@ -105,22 +147,33 @@ class TRMScheduler:
         """Schedule ``requests`` to completion and return the result.
 
         The request list may be in any order; arrival times drive the run.
+        Every request settles exactly once — completed, rejected by the
+        admission constraint, or dropped after retry exhaustion.
         """
         sim = Simulator()
         states = [MachineState(machine=m) for m in self.grid.machines]
         records: dict[int, CompletionRecord] = {}
-        rejected: list[int] = []
+        rejected: dict[int, str] = {}
+        dropped: list[int] = []
+        failures: list[FailureEvent] = []
+        attempts: dict[int, int] = {}
         pending: list[Request] = []
-        assigned = {"count": 0}
+        settled = {"count": 0}
         total = len(requests)
         batch_counter = {"count": 0}
+        if self.faults is not None:
+            self.faults.bind(self.grid)
 
-        def realize(request: Request, machine: int, mapped_time: float) -> None:
-            state = states[machine]
-            eec = float(self.costs.eec_row(request)[machine])
-            cost = float(self.costs.realized_ecc_row(request)[machine])
-            start = max(state.available_time, mapped_time)
-            completion = state.assign(mapped_time, cost)
+        def complete(
+            request: Request,
+            machine: int,
+            mapped_time: float,
+            start: float,
+            completion: float,
+            eec: float,
+            cost: float,
+            attempt: int,
+        ) -> None:
             record = CompletionRecord(
                 request_index=request.index,
                 machine_index=machine,
@@ -131,13 +184,14 @@ class TRMScheduler:
                 eec=eec,
                 realized_cost=cost,
                 trust_cost=float(self.costs.trust_cost_row(request)[machine]),
+                attempt=attempt,
             )
             if request.index in records:
                 raise SchedulingError(
                     f"request {request.index} was mapped twice"
                 )
             records[request.index] = record
-            assigned["count"] += 1
+            settled["count"] += 1
             self.tracer.emit(
                 mapped_time,
                 "assign",
@@ -152,29 +206,129 @@ class TRMScheduler:
                     priority=EventPriority.COMPLETION,
                 )
 
+        def realize(request: Request, machine: int, mapped_time: float) -> None:
+            state = states[machine]
+            eec = float(self.costs.eec_row(request)[machine])
+            cost = float(self.costs.realized_ecc_row(request)[machine])
+            if self.faults is None:
+                start = max(state.available_time, mapped_time)
+                completion = state.assign(mapped_time, cost)
+                complete(
+                    request, machine, mapped_time, start, completion, eec, cost, 1
+                )
+                return
+
+            attempt = attempts.get(request.index, 0) + 1
+            attempts[request.index] = attempt
+            outcome = self.faults.attempt_outcome(
+                request_index=request.index,
+                machine_index=machine,
+                attempt=attempt,
+                begin=max(state.available_time, mapped_time),
+                cost=cost,
+            )
+            state.book_attempt(
+                outcome.executed, outcome.next_free, failed=outcome.failed
+            )
+            if not outcome.failed:
+                complete(
+                    request,
+                    machine,
+                    mapped_time,
+                    outcome.start_time,
+                    outcome.end_time,
+                    eec,
+                    cost,
+                    attempt,
+                )
+                return
+            failure = FailureEvent(
+                request_index=request.index,
+                machine_index=machine,
+                attempt=attempt,
+                start_time=outcome.start_time,
+                failure_time=outcome.end_time,
+                wasted_work=outcome.executed,
+                kind=outcome.failure,
+            )
+            failures.append(failure)
+            self.tracer.emit(
+                mapped_time,
+                "assign",
+                request=request.index,
+                machine=machine,
+                completion=outcome.end_time,
+            )
+            sim.schedule(
+                outcome.end_time,
+                lambda ev, f=failure, r=request: on_failed_attempt(ev, f, r),
+                priority=EventPriority.FAILURE,
+            )
+
+        def on_failed_attempt(
+            event: Event, failure: FailureEvent, request: Request
+        ) -> None:
+            assert self.retry is not None
+            self.tracer.emit(
+                event.time,
+                "failure",
+                request=failure.request_index,
+                machine=failure.machine_index,
+                attempt=failure.attempt,
+                cause=failure.kind.value,
+            )
+            if self.on_failure is not None:
+                self.on_failure(failure)
+            if not self.retry.should_retry(failure.attempt):
+                dropped.append(request.index)
+                settled["count"] += 1
+                self.tracer.emit(
+                    event.time, "drop", request=request.index,
+                    attempts=failure.attempt,
+                )
+                return
+            # Re-price the retry: trust may have evolved since the original
+            # mapping, and the failed machine is excluded (best effort —
+            # relaxed if nothing finite would remain).
+            self.costs.invalidate_trust_cache(request.index)
+            if self.retry.exclude_failed:
+                self.costs.exclude(request.index, failure.machine_index)
+                if not np.isfinite(self.costs.mapping_ecc_row(request)).any():
+                    self.costs.clear_exclusions(request.index)
+            sim.schedule(
+                event.time + self.retry.delay_for(failure.attempt),
+                lambda ev, r=request: dispatch(r, ev.time, retry=True),
+                priority=EventPriority.ARRIVAL,
+            )
+
         def availability(now: float) -> np.ndarray:
             alpha = np.array([s.available_time for s in states], dtype=np.float64)
             return np.maximum(alpha, now)
 
         def reject(request: Request, time: float) -> None:
-            rejected.append(request.index)
-            assigned["count"] += 1
+            rejected[request.index] = REASON_CONSTRAINT
+            settled["count"] += 1
             self.tracer.emit(time, "reject", request=request.index)
+
+        def dispatch(request: Request, time: float, *, retry: bool = False) -> None:
+            if retry:
+                self.tracer.emit(time, "retry", request=request.index)
+            if not self.costs.is_feasible(request):
+                reject(request, time)
+                return
+            if self.batch_interval is None:
+                machine = self.heuristic.choose(  # type: ignore[union-attr]
+                    request, self.costs, availability(time)
+                )
+                self._check_machine(machine)
+                realize(request, machine, time)
+            else:
+                pending.append(request)
 
         def on_arrival(event: Event) -> None:
             request: Request = event.payload
             self.tracer.emit(event.time, "arrival", request=request.index)
-            if not self.costs.is_feasible(request):
-                reject(request, event.time)
-                return
-            if self.batch_interval is None:
-                machine = self.heuristic.choose(  # type: ignore[union-attr]
-                    request, self.costs, availability(event.time)
-                )
-                self._check_machine(machine)
-                realize(request, machine, event.time)
-            else:
-                pending.append(request)
+            dispatch(request, event.time)
 
         def on_batch(event: Event) -> None:
             if pending:
@@ -195,12 +349,46 @@ class TRMScheduler:
                     self._check_machine(item.machine_index)
                     realize(item.request, item.machine_index, event.time)
                 pending.clear()
-            if assigned["count"] < total:
+            if settled["count"] < total:
                 sim.schedule(
                     event.time + self.batch_interval,
                     on_batch,
                     priority=EventPriority.BATCH,
                 )
+
+        # -- machine up/down transitions as first-class DES events ----------
+        # The injector's timelines are the source of truth (outcomes are
+        # resolved against them at booking time); these events mirror the
+        # transitions into the simulation so they are traceable and ordered
+        # against completions and arrivals.  The chain stops rescheduling
+        # once every request has settled, letting the run terminate.
+
+        def schedule_next_down(machine: int, after: float) -> None:
+            assert self.faults is not None
+            timeline = self.faults.timeline(machine)
+            assert timeline is not None
+            down_start, repair_end = timeline.first_down_at_or_after(after)
+            sim.schedule(
+                down_start,
+                lambda ev, m=machine, r=repair_end: on_machine_down(ev, m, r),
+                priority=EventPriority.MACHINE,
+            )
+
+        def on_machine_down(event: Event, machine: int, repair_end: float) -> None:
+            self.tracer.emit(
+                event.time, "machine-down", machine=machine, until=repair_end
+            )
+            if settled["count"] < total:
+                sim.schedule(
+                    repair_end,
+                    lambda ev, m=machine: on_machine_up(ev, m),
+                    priority=EventPriority.MACHINE,
+                )
+
+        def on_machine_up(event: Event, machine: int) -> None:
+            self.tracer.emit(event.time, "machine-up", machine=machine)
+            if settled["count"] < total:
+                schedule_next_down(machine, after=event.time)
 
         for request in requests:
             sim.schedule(
@@ -211,13 +399,20 @@ class TRMScheduler:
             )
         if self.batch_interval is not None and total > 0:
             sim.schedule(self.batch_interval, on_batch, priority=EventPriority.BATCH)
+        if (
+            self.faults is not None
+            and self.faults.model.machines is not None
+            and total > 0
+        ):
+            for machine in range(self.grid.n_machines):
+                schedule_next_down(machine, after=0.0)
 
         sim.run()
 
-        if len(records) + len(rejected) != total:
+        if len(records) + len(rejected) + len(dropped) != total:
             raise SchedulingError(
-                f"run finished with {len(records)} mapped + {len(rejected)} "
-                f"rejected of {total} requests"
+                f"run finished with {len(records)} completed + {len(rejected)} "
+                f"rejected + {len(dropped)} dropped of {total} requests"
             )
         ordered = tuple(
             records[r.index]
@@ -230,6 +425,14 @@ class TRMScheduler:
             records=ordered,
             machine_states=tuple(states),
             rejected=tuple(sorted(rejected)),
+            rejection_reasons=dict(sorted(rejected.items())),
+            failures=tuple(
+                sorted(
+                    failures,
+                    key=lambda f: (f.failure_time, f.request_index, f.attempt),
+                )
+            ),
+            dropped=tuple(sorted(dropped)),
         )
 
     def _check_machine(self, machine: int) -> None:

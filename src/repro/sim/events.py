@@ -22,12 +22,20 @@ class EventPriority(enum.IntEnum):
     the same instant (a machine freed at time ``t`` is available to a
     request arriving at ``t``), and batch timers fire after arrivals so a
     request arriving exactly on the boundary joins the closing batch.
+
+    Failure events sit between completions and arrivals: a task failure at
+    time ``t`` frees its machine (and possibly re-enqueues the task) before
+    any request arriving at ``t`` is mapped, mirroring the completion rule.
+    Machine up/down transitions fire right after failures so state flips
+    are visible to same-instant arrivals as well.
     """
 
     COMPLETION = 0
-    ARRIVAL = 1
-    BATCH = 2
-    GENERIC = 3
+    FAILURE = 1
+    MACHINE = 2
+    ARRIVAL = 3
+    BATCH = 4
+    GENERIC = 5
 
 
 @dataclass(order=True)

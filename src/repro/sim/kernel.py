@@ -127,11 +127,42 @@ class Simulator:
                     break
                 self.step()
                 if self.processed > self._max_events:
-                    raise SimulationError(
-                        f"exceeded event budget of {self._max_events} events"
-                    )
+                    raise SimulationError(self._exhaustion_diagnostic())
             if until is not None and self.now < until:
                 self.now = until
             return self.now
         finally:
             self._running = False
+
+    def drain(self) -> int:
+        """Run the queue to empty (no horizon) and count the events fired.
+
+        A convenience for handler chains that re-schedule work (retries,
+        failure/repair cycles): drains everything, subject to the same
+        ``max_events`` budget as :meth:`run`.
+
+        Returns:
+            The number of events fired by this call.
+        """
+        before = self.processed
+        self.run()
+        return self.processed - before
+
+    def _exhaustion_diagnostic(self) -> str:
+        """Describe the simulator state at event-budget exhaustion.
+
+        Names the current clock, the queue depth and the head event so a
+        runaway self-rescheduling handler (the usual culprit once failures
+        and retries can re-enqueue work) is diagnosable from the message.
+        """
+        message = (
+            f"exceeded event budget of {self._max_events} events: "
+            f"clock at {self.now:g}, {len(self._queue)} event(s) pending"
+        )
+        head = self._queue.peek()
+        if head is not None:
+            message += (
+                f", next event at {head.time:g} "
+                f"(priority {head.priority.name})"
+            )
+        return message

@@ -50,9 +50,14 @@ class EventQueue:
 
     def peek_time(self) -> float | None:
         """Firing time of the earliest live event, or ``None`` if empty."""
+        head = self.peek()
+        return head.time if head is not None else None
+
+    def peek(self) -> Event | None:
+        """The earliest live event itself, or ``None`` if empty."""
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        return self._heap[0] if self._heap else None
 
     def cancel(self, event: Event) -> None:
         """Cancel an event previously pushed onto this queue."""

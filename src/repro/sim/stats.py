@@ -8,7 +8,7 @@ retain per-sample arrays unless a caller asks for them.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["RunningStats", "TimeWeightedStats"]
 

@@ -22,7 +22,7 @@ from repro.grid.activities import ActivityCatalog, ActivitySet
 from repro.grid.request import Request, Task
 from repro.grid.topology import Grid, GridBuilder
 from repro.workloads.consistency import Consistency
-from repro.workloads.heterogeneity import BY_NAME, Heterogeneity
+from repro.workloads.heterogeneity import BY_NAME
 from repro.workloads.scenario import Scenario, ScenarioSpec
 
 __all__ = ["scenario_to_dict", "scenario_from_dict", "save_scenario", "load_scenario"]

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.levels import MAX_LEVEL, MAX_OFFERED_LEVEL, MIN_LEVEL, TrustLevel
+from repro.core.levels import MAX_LEVEL, MAX_OFFERED_LEVEL, MIN_LEVEL
 from repro.errors import WorkloadError
 
 __all__ = ["sample_required_levels", "sample_offered_table", "sample_activity_sets"]
@@ -28,7 +28,7 @@ def sample_required_levels(
     if count < 1:
         raise WorkloadError("count must be >= 1")
     if not (int(MIN_LEVEL) <= low <= high <= int(MAX_LEVEL)):
-        raise WorkloadError(f"RTL bounds must satisfy 1 <= low <= high <= 6")
+        raise WorkloadError("RTL bounds must satisfy 1 <= low <= high <= 6")
     return rng.integers(low, high + 1, size=count, dtype=np.int64)
 
 

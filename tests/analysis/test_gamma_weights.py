@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis.gamma_weights import GammaWeightOutcome, ablate_gamma_weights
+from repro.analysis.gamma_weights import ablate_gamma_weights
 from repro.errors import ConfigurationError
 
 

@@ -1,7 +1,6 @@
 """Tests for the Figure-1 reproduction and supplementary series."""
 
 import networkx as nx
-import pytest
 
 from repro.experiments.figures import improvement_vs_load_series, reproduce_figure1
 from repro.workloads.scenario import ScenarioSpec, materialize

@@ -1,0 +1,140 @@
+"""Tests for run-scoped fault injection (booking-time outcome resolution)."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.injector import FaultInjector
+from repro.faults.model import (
+    FaultModel,
+    MachineFailureModel,
+    TaskFailureModel,
+)
+from repro.faults.records import FailureKind
+
+#: A two-RD grid stand-in: machines 0-1 on RD 0, machine 2 on RD 1.
+GRID = SimpleNamespace(machine_rd=[0, 0, 1])
+
+
+def bound(model, *, rng=0, start=0.0):
+    injector = FaultInjector(model, rng=rng, start=start)
+    injector.bind(GRID)
+    return injector
+
+
+class TestBinding:
+    def test_model_type_and_start_validated(self):
+        with pytest.raises(ConfigurationError):
+            FaultInjector(object())
+        with pytest.raises(ConfigurationError):
+            FaultInjector(FaultModel(), start=-1.0)
+
+    def test_unbound_injector_refuses_queries(self):
+        injector = FaultInjector(FaultModel())
+        with pytest.raises(ConfigurationError):
+            injector.rd_of(0)
+
+    def test_rd_lookup_and_range_check(self):
+        injector = bound(FaultModel())
+        assert injector.rd_of(0) == 0
+        assert injector.rd_of(2) == 1
+        with pytest.raises(ConfigurationError):
+            injector.rd_of(3)
+
+    def test_rebind_same_layout_is_idempotent(self):
+        injector = bound(FaultModel())
+        injector.bind(SimpleNamespace(machine_rd=[0, 0, 1]))
+
+    def test_rebind_different_layout_rejected(self):
+        injector = bound(FaultModel())
+        with pytest.raises(ConfigurationError):
+            injector.bind(SimpleNamespace(machine_rd=[0, 1]))
+
+
+class TestTimelines:
+    def test_no_machine_model_means_no_timeline(self):
+        assert bound(FaultModel()).timeline(0) is None
+
+    def test_timeline_is_cached_per_machine(self):
+        injector = bound(
+            FaultModel(machines=MachineFailureModel(mtbf=100.0, mttr=10.0))
+        )
+        assert injector.timeline(1) is injector.timeline(1)
+        assert injector.timeline(1) is not injector.timeline(2)
+
+
+class TestAttemptOutcome:
+    def outcome(self, injector, *, request=0, machine=0, attempt=1, begin=0.0,
+                cost=10.0):
+        return injector.attempt_outcome(
+            request_index=request,
+            machine_index=machine,
+            attempt=attempt,
+            begin=begin,
+            cost=cost,
+        )
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.outcome(bound(FaultModel()), cost=-1.0)
+
+    def test_empty_model_always_succeeds_verbatim(self):
+        out = self.outcome(bound(FaultModel()), begin=5.0, cost=10.0)
+        assert not out.failed
+        assert out.start_time == 5.0
+        assert out.end_time == 15.0
+        assert out.executed == 10.0
+        assert out.next_free == 15.0
+
+    def test_task_crash_wastes_partial_work(self):
+        model = FaultModel(tasks=TaskFailureModel(default_crash_prob=0.999))
+        out = self.outcome(bound(model), cost=10.0)
+        assert out.failed
+        assert out.failure is FailureKind.TASK_CRASH
+        assert 0.0 <= out.executed < 10.0
+        assert out.end_time == out.start_time + out.executed
+        assert out.next_free == out.end_time
+
+    def test_machine_down_frees_machine_only_after_repair(self):
+        # MTBF of 1 against a cost of 500: a downtime interrupts the window
+        # with overwhelming probability, and the long repair outlives it.
+        model = FaultModel(machines=MachineFailureModel(mtbf=1.0, mttr=1000.0))
+        out = self.outcome(bound(model), cost=500.0)
+        assert out.failed
+        assert out.failure is FailureKind.MACHINE_DOWN
+        assert out.next_free > out.end_time
+        assert out.executed == out.end_time - out.start_time
+
+    def test_booking_into_a_down_interval_starts_after_repair(self):
+        model = FaultModel(machines=MachineFailureModel(mtbf=50.0, mttr=20.0))
+        injector = bound(model)
+        down, repair = injector.timeline(0).first_down_at_or_after(0.0)
+        out = self.outcome(injector, begin=down, cost=1e-6)
+        assert out.start_time == repair
+
+    def test_same_seed_reproduces_outcomes(self):
+        model = FaultModel(
+            tasks=TaskFailureModel(default_crash_prob=0.5),
+            machines=MachineFailureModel(mtbf=200.0, mttr=20.0),
+        )
+        outs_a = [
+            self.outcome(bound(model, rng=9), request=r, machine=r % 3, attempt=1)
+            for r in range(20)
+        ]
+        outs_b = [
+            self.outcome(bound(model, rng=9), request=r, machine=r % 3, attempt=1)
+            for r in range(20)
+        ]
+        assert outs_a == outs_b
+
+    def test_crash_stream_is_keyed_by_request_and_attempt(self):
+        # The fate of (request 5, attempt 1) must not depend on which other
+        # requests were resolved first — that is what keeps paired
+        # aware/unaware comparisons workload-paired under failures.
+        model = FaultModel(tasks=TaskFailureModel(default_crash_prob=0.5))
+        direct = self.outcome(bound(model, rng=4), request=5)
+        injector = bound(model, rng=4)
+        for other in (0, 1, 2, 3):
+            self.outcome(injector, request=other)
+        assert self.outcome(injector, request=5) == direct

@@ -1,0 +1,219 @@
+"""End-to-end fault injection and recovery through the TRM scheduler."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.injector import FaultInjector
+from repro.faults.model import (
+    FaultModel,
+    MachineFailureModel,
+    TaskFailureModel,
+)
+from repro.faults.records import FailureKind
+from repro.faults.retry import RetryPolicy
+from repro.scheduling.mct import MctHeuristic
+from repro.scheduling.minmin import MinMinHeuristic
+from repro.scheduling.policy import TrustPolicy
+from repro.scheduling.scheduler import TRMScheduler
+from repro.sim.trace import Tracer
+from repro.workloads.scenario import ScenarioSpec, materialize
+
+N_TASKS = 25
+CRASHY = FaultModel(tasks=TaskFailureModel(default_crash_prob=0.5))
+
+
+@pytest.fixture
+def scenario():
+    return materialize(
+        ScenarioSpec(
+            n_tasks=N_TASKS, target_load=4.0, rd_range=(3, 3), cd_range=(2, 2)
+        ),
+        seed=11,
+    )
+
+
+def run(scenario, *, model=None, retry=None, heuristic=None, seed=0, **kwargs):
+    faults = None if model is None else FaultInjector(model, rng=seed)
+    return TRMScheduler(
+        scenario.grid,
+        scenario.eec,
+        TrustPolicy.aware(),
+        heuristic if heuristic is not None else MctHeuristic(),
+        faults=faults,
+        retry=retry,
+        **kwargs,
+    ).run(scenario.requests)
+
+
+class TestConfiguration:
+    def test_retry_requires_an_injector(self, scenario):
+        with pytest.raises(ConfigurationError):
+            TRMScheduler(
+                scenario.grid,
+                scenario.eec,
+                TrustPolicy.aware(),
+                MctHeuristic(),
+                retry=RetryPolicy(),
+            )
+
+    def test_failure_hook_requires_an_injector(self, scenario):
+        with pytest.raises(ConfigurationError):
+            TRMScheduler(
+                scenario.grid,
+                scenario.eec,
+                TrustPolicy.aware(),
+                MctHeuristic(),
+                on_failure=lambda f: None,
+            )
+
+
+class TestOptIn:
+    def test_empty_fault_model_reproduces_the_fault_free_schedule(self, scenario):
+        base = run(scenario)
+        empty = run(scenario, model=FaultModel())
+        assert empty.records == base.records
+        assert not empty.failures and not empty.dropped
+
+    def test_fault_free_result_reports_clean_resilience_metrics(self, scenario):
+        result = run(scenario)
+        assert result.effective_makespan == result.makespan
+        assert result.total_wasted_work == 0.0
+        assert result.wasted_work_fraction == 0.0
+        assert result.goodput == pytest.approx(N_TASKS / result.makespan)
+
+
+class TestRecovery:
+    def test_every_request_settles_exactly_once(self, scenario):
+        result = run(scenario, model=CRASHY)
+        assert result.failures, "p=0.5 over 25 requests must produce failures"
+        assert result.n_completed + result.n_rejected + result.n_dropped == N_TASKS
+        completed = {r.request_index for r in result.records}
+        assert completed.isdisjoint(result.dropped)
+        assert completed | set(result.dropped) | set(result.rejected) == set(
+            range(N_TASKS)
+        )
+
+    def test_attempt_accounting_matches_failures(self, scenario):
+        retry = RetryPolicy(max_attempts=3)
+        result = run(scenario, model=CRASHY, retry=retry)
+        per_request = {}
+        for f in result.failures:
+            per_request.setdefault(f.request_index, []).append(f.attempt)
+        for rec in result.records:
+            assert 1 <= rec.attempt <= retry.max_attempts
+            assert sorted(per_request.get(rec.request_index, [])) == list(
+                range(1, rec.attempt)
+            )
+        for index in result.dropped:
+            assert sorted(per_request[index]) == list(
+                range(1, retry.max_attempts + 1)
+            )
+
+    def test_drop_policy_abandons_on_first_failure(self, scenario):
+        result = run(scenario, model=CRASHY, retry=RetryPolicy.drop())
+        assert result.dropped
+        assert all(rec.attempt == 1 for rec in result.records)
+        assert sorted(f.request_index for f in result.failures) == sorted(
+            result.dropped
+        )
+
+    def test_retry_avoids_machines_that_already_failed_the_request(self, scenario):
+        result = run(scenario, model=CRASHY)
+        failed_on = {}
+        for f in result.failures:
+            failed_on.setdefault(f.request_index, set()).add(f.machine_index)
+        retried = [r for r in result.records if r.attempt > 1]
+        assert retried, "need at least one successful retry to test exclusion"
+        for rec in retried:
+            assert rec.machine_index not in failed_on[rec.request_index]
+
+    def test_backoff_delays_the_remapping(self, scenario):
+        result = run(
+            scenario, model=CRASHY, retry=RetryPolicy(backoff_base=5.0)
+        )
+        first_failure = {}
+        for f in result.failures:
+            if f.attempt == 1:
+                first_failure[f.request_index] = f.failure_time
+        second_tries = [r for r in result.records if r.attempt == 2]
+        assert second_tries
+        for rec in second_tries:
+            assert rec.mapped_time >= first_failure[rec.request_index] + 5.0 - 1e-9
+
+    def test_wasted_work_stays_on_the_books(self, scenario):
+        result = run(scenario, model=CRASHY)
+        useful = sum(r.realized_cost for r in result.records)
+        busy = sum(s.busy_time for s in result.machine_states)
+        assert busy == pytest.approx(useful + result.total_wasted_work)
+        assert result.total_wasted_work > 0.0
+        assert 0.0 < result.wasted_work_fraction < 1.0
+
+    def test_batch_mode_recovers_too(self, scenario):
+        result = run(
+            scenario,
+            model=CRASHY,
+            heuristic=MinMinHeuristic(),
+            batch_interval=300.0,
+        )
+        assert result.failures
+        assert result.n_completed + result.n_rejected + result.n_dropped == N_TASKS
+
+    def test_same_seed_reproduces_the_run(self, scenario):
+        a = run(scenario, model=CRASHY, seed=5)
+        b = run(scenario, model=CRASHY, seed=5)
+        assert a.records == b.records
+        assert a.failures == b.failures
+        assert a.dropped == b.dropped
+
+
+class TestMachineFaults:
+    MODEL = FaultModel(machines=MachineFailureModel(mtbf=150.0, mttr=40.0))
+
+    def test_downtime_interrupts_and_repairs(self, scenario):
+        tracer = Tracer()
+        result = run(scenario, model=self.MODEL, tracer=tracer)
+        downs = tracer.entries("machine-down")
+        assert downs, "MTBF of 150 against this horizon must produce downtimes"
+        for entry in downs:
+            assert entry.detail["until"] > entry.time
+        machine_failures = [
+            f for f in result.failures if f.kind is FailureKind.MACHINE_DOWN
+        ]
+        assert machine_failures
+        assert result.n_completed + result.n_dropped == N_TASKS
+
+    def test_failures_are_reported_in_time_order(self, scenario):
+        result = run(
+            scenario,
+            model=FaultModel(
+                tasks=TaskFailureModel(default_crash_prob=0.4),
+                machines=self.MODEL.machines,
+            ),
+        )
+        times = [f.failure_time for f in result.failures]
+        assert times == sorted(times)
+
+
+class TestHooks:
+    def test_on_failure_sees_every_failed_attempt(self, scenario):
+        observed = []
+        faults = FaultInjector(CRASHY, rng=0)
+        result = TRMScheduler(
+            scenario.grid,
+            scenario.eec,
+            TrustPolicy.aware(),
+            MctHeuristic(),
+            faults=faults,
+            on_failure=observed.append,
+        ).run(scenario.requests)
+        assert sorted(observed, key=lambda f: (f.failure_time, f.request_index)) == [
+            *result.failures
+        ]
+
+    def test_summary_accounts_for_the_whole_run(self, scenario):
+        result = run(scenario, model=CRASHY)
+        s = result.summary()
+        assert s["submitted"] == N_TASKS
+        assert s["completed"] + s["rejected"] + s["dropped"] == s["submitted"]
+        assert s["failures"] == len(result.failures)
+        assert s["wasted_work"] == pytest.approx(result.total_wasted_work)

@@ -1,10 +1,8 @@
 """Tests for repro.grid.topology (Grid + GridBuilder)."""
 
-import numpy as np
 import pytest
 
 from repro.core.ets import EtsTable
-from repro.core.levels import TrustLevel
 from repro.errors import ConfigurationError
 from repro.grid.activities import ActivityCatalog
 from repro.grid.topology import GridBuilder

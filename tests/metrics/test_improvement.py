@@ -1,6 +1,5 @@
 """Tests for improvement computation and paired comparisons."""
 
-import numpy as np
 import pytest
 
 from repro.metrics.improvement import PairedComparison, improvement_fraction

@@ -5,11 +5,11 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.scheduling.constraints import InfeasiblePolicy, TrustConstraint
-from repro.scheduling.costs import CostProvider
 from repro.scheduling.mct import MctHeuristic
 from repro.scheduling.minmin import MinMinHeuristic
 from repro.scheduling.policy import TrustPolicy
-from repro.scheduling.scheduler import TRMScheduler
+from repro.scheduling.scheduler import REASON_CONSTRAINT, TRMScheduler
+from repro.scheduling.sufferage import SufferageHeuristic
 from repro.workloads.scenario import ScenarioSpec, materialize
 
 
@@ -105,6 +105,48 @@ class TestConstrainedScheduling:
         assert len(result.records) + len(result.rejected) == 30
         for rec in result.records:
             assert rec.trust_cost == 0
+
+    def test_reject_in_batch_mode_sufferage(self, scenario):
+        constraint = TrustConstraint(
+            max_trust_cost=0, infeasible=InfeasiblePolicy.REJECT
+        )
+        result = TRMScheduler(
+            scenario.grid,
+            scenario.eec,
+            TrustPolicy.aware(),
+            SufferageHeuristic(),
+            batch_interval=300.0,
+            constraint=constraint,
+        ).run(scenario.requests)
+        assert len(result.records) + len(result.rejected) == 30
+        assert result.rejected, "TC=0 on this scenario must reject something"
+        for rec in result.records:
+            assert rec.trust_cost == 0
+
+    def test_rejections_carry_a_reason(self, scenario):
+        constraint = TrustConstraint(
+            max_trust_cost=0, infeasible=InfeasiblePolicy.REJECT
+        )
+        result = TRMScheduler(
+            scenario.grid,
+            scenario.eec,
+            TrustPolicy.aware(),
+            MinMinHeuristic(),
+            batch_interval=300.0,
+            constraint=constraint,
+        ).run(scenario.requests)
+        assert result.rejected
+        assert set(result.rejection_reasons) == set(result.rejected)
+        assert set(result.rejection_reasons.values()) == {REASON_CONSTRAINT}
+        summary = result.summary()
+        assert summary["rejected"] == result.n_rejected
+        assert summary["rejection_reasons"] == {
+            REASON_CONSTRAINT: result.n_rejected
+        }
+        assert (
+            summary["completed"] + summary["rejected"] + summary["dropped"]
+            == summary["submitted"]
+        )
 
     def test_noop_constraint_changes_nothing(self, scenario):
         base = TRMScheduler(

@@ -7,7 +7,6 @@ machine, causality (nothing starts before it arrives or is mapped), and
 complete coverage of the request set.
 """
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -108,6 +108,41 @@ class TestExecution:
         with pytest.raises(SimulationError, match="budget"):
             sim.run()
 
+    def test_exhaustion_diagnostic_names_the_simulator_state(self):
+        sim = Simulator(max_events=5)
+
+        def forever(ev):
+            sim.schedule_after(1.0, forever)
+            sim.schedule_after(2.0, forever)
+
+        sim.schedule(0.0, forever)
+        with pytest.raises(SimulationError) as exc:
+            sim.run()
+        message = str(exc.value)
+        assert "event budget of 5" in message
+        assert "clock at" in message
+        assert "pending" in message
+        # The head event is named with its time and priority.
+        assert "next event at" in message
+        assert "GENERIC" in message
+
+    def test_drain_runs_to_empty_and_counts(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(ev):
+            fired.append(ev.time)
+            if ev.time < 4.0:
+                sim.schedule_after(1.0, chain)
+
+        sim.schedule(1.0, chain)
+        sim.schedule(2.5, lambda ev: fired.append(ev.time))
+        assert sim.drain() == 5
+        assert sim.pending == 0
+        assert fired == [1.0, 2.0, 2.5, 3.0, 4.0]
+        # Draining an empty queue is a no-op that reports zero events.
+        assert sim.drain() == 0
+
     def test_priority_ordering_at_same_instant(self):
         sim = Simulator()
         order = []

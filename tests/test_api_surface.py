@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.sim",
     "repro.workloads",
     "repro.scheduling",
+    "repro.faults",
     "repro.security",
     "repro.metrics",
     "repro.experiments",
@@ -36,6 +37,9 @@ MODULES = [
     "repro.sim.resources",
     "repro.sim.mmpp",
     "repro.scheduling.constraints",
+    "repro.faults.model",
+    "repro.faults.injector",
+    "repro.faults.retry",
     "repro.scheduling.esc_models",
     "repro.scheduling.fast",
     "repro.security.plan",

@@ -9,7 +9,6 @@ import subprocess
 import sys
 from pathlib import Path
 
-import pytest
 
 EXAMPLES = Path(__file__).parent.parent / "examples"
 
@@ -54,3 +53,9 @@ class TestExamples:
     def test_heuristic_comparison_small(self):
         out = run_example("heuristic_comparison.py", "2")
         assert "best trust-aware heuristic" in out
+
+    def test_fault_tolerance(self):
+        out = run_example("fault_tolerance.py", "1")
+        assert "One faulty run" in out
+        assert "Recovery policies" in out
+        assert "goodput gain" in out

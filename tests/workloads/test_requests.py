@@ -1,6 +1,5 @@
 """Tests for request-stream assembly."""
 
-import numpy as np
 import pytest
 
 from repro.errors import WorkloadError
