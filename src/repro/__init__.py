@@ -28,6 +28,7 @@ from repro.core import (
 )
 from repro.faults import FaultInjector, FaultModel, RetryPolicy
 from repro.grid import Grid, GridBuilder, GridTrustTable
+from repro.obs import MetricsRegistry, ProfiledRun
 from repro.scheduling import (
     ScheduleResult,
     SecurityAccounting,
@@ -52,6 +53,8 @@ __all__ = [
     "Grid",
     "GridBuilder",
     "GridTrustTable",
+    "MetricsRegistry",
+    "ProfiledRun",
     "ScheduleResult",
     "SecurityAccounting",
     "TRMScheduler",

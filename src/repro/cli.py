@@ -9,6 +9,7 @@ Subcommands::
     repro-trms theorem mct          # empirical makespan-dominance check
     repro-trms run --heuristic mct --tasks 50 --seed 1   # one simulation
     repro-trms faults               # fault-injection resilience comparison
+    repro-trms profile paper        # instrumented run: manifest + traces
 """
 
 from __future__ import annotations
@@ -139,6 +140,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_replay.add_argument("scenario", help="path of a saved scenario JSON")
     p_replay.add_argument("--heuristic", default="mct")
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="run one instrumented simulation and emit manifest + traces",
+    )
+    p_prof.add_argument(
+        "scenario",
+        help=(
+            "a saved scenario JSON path, or 'paper' for the stock "
+            "Section-5.3 scenario"
+        ),
+    )
+    p_prof.add_argument("--heuristic", default="mct")
+    p_prof.add_argument("--tasks", type=int, default=50)
+    p_prof.add_argument("--seed", type=int, default=0)
+    p_prof.add_argument(
+        "--consistency", default="inconsistent",
+        choices=["consistent", "inconsistent", "semi-consistent"],
+    )
+    p_prof.add_argument(
+        "--policy", default="aware", choices=["aware", "unaware"],
+        help="trust policy of the profiled run (default aware)",
+    )
+    p_prof.add_argument(
+        "--output-dir", default=None,
+        help="artifact directory (default profile-<scenario name>)",
+    )
     return parser
 
 
@@ -322,9 +350,70 @@ def _dispatch(args) -> int:
                 f"{format_seconds(result.average_completion_time)}"
             )
         print(f"{'improvement':>14}: {format_percent(pair.completion_improvement)}")
+    elif args.command == "profile":
+        print(
+            _cmd_profile(
+                args.scenario, args.heuristic, args.tasks, args.seed,
+                args.consistency, args.policy, args.output_dir,
+            )
+        )
     else:  # pragma: no cover - argparse guards
         return 2
     return 0
+
+
+def _cmd_profile(
+    scenario_arg: str,
+    heuristic_name: str,
+    tasks: int,
+    seed: int,
+    consistency: str,
+    policy_name: str,
+    output_dir: str | None,
+) -> str:
+    from pathlib import Path
+
+    from repro.experiments import PAPER_BATCH_INTERVAL, paper_spec
+    from repro.obs import ProfiledRun
+    from repro.scheduling import TRMScheduler, TrustPolicy, is_batch, make_heuristic
+    from repro.workloads import Consistency, load_scenario, materialize
+
+    if Path(scenario_arg).exists():
+        scenario = load_scenario(scenario_arg)
+        name = Path(scenario_arg).stem
+        config = scenario.spec
+        seed = scenario.seed
+    elif scenario_arg == "paper":
+        spec = paper_spec(tasks, Consistency.from_name(consistency))
+        scenario = materialize(spec, seed=seed)
+        name = f"paper-{heuristic_name}"
+        config = spec
+    else:
+        raise SystemExit(
+            f"unknown scenario {scenario_arg!r}: pass a scenario JSON path "
+            "or 'paper'"
+        )
+
+    policy = (
+        TrustPolicy.aware() if policy_name == "aware" else TrustPolicy.unaware()
+    )
+    heuristic = make_heuristic(heuristic_name)
+    interval = PAPER_BATCH_INTERVAL if is_batch(heuristic_name) else None
+    with ProfiledRun(name=name, config=config, seed=seed) as prof:
+        result = TRMScheduler(
+            scenario.grid,
+            scenario.eec,
+            policy,
+            heuristic,
+            batch_interval=interval,
+            tracer=prof.tracer,
+            metrics=prof.metrics,
+        ).run(scenario.requests)
+        prof.record_result(result)
+    paths = prof.write_artifacts(output_dir or f"profile-{name}")
+    lines = [prof.report(), ""]
+    lines += [f"{kind}: {path}" for kind, path in sorted(paths.items())]
+    return "\n".join(lines)
 
 
 def _cmd_families(replications: int, tasks: int) -> str:

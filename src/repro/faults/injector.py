@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from repro.errors import ConfigurationError
 from repro.faults.model import FaultModel, MachineTimeline
 from repro.faults.records import FailureKind
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.rng import RngFactory
 
 __all__ = ["AttemptOutcome", "FaultInjector"]
@@ -64,6 +65,11 @@ class FaultInjector:
         rng: the :class:`RngFactory` (or an ``int`` root seed) owning the
             injector's streams.
         start: absolute time machine timelines begin (machines start up).
+        metrics: optional registry counting resolved attempts
+            (``faults.attempts``) and injected failures by kind
+            (``faults.injected.<kind>``); disabled by default.  The
+            scheduler attaches its own registry to an un-instrumented
+            injector, so session-level wiring needs no extra plumbing.
     """
 
     def __init__(
@@ -72,12 +78,14 @@ class FaultInjector:
         *,
         rng: RngFactory | int = 0,
         start: float = 0.0,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if not isinstance(model, FaultModel):
             raise ConfigurationError("model must be a FaultModel")
         if start < 0:
             raise ConfigurationError("start must be non-negative")
         self.model = model
+        self.metrics = metrics if metrics is not None else MetricsRegistry.disabled()
         self.start = float(start)
         self._rng = rng if isinstance(rng, RngFactory) else RngFactory(seed=rng)
         self._timelines: dict[int, MachineTimeline] = {}
@@ -171,25 +179,33 @@ class FaultInjector:
         )
         if down_at is not None and (crash_at is None or down_at <= crash_at):
             assert timeline is not None
-            return AttemptOutcome(
+            outcome = AttemptOutcome(
                 start_time=start,
                 end_time=down_at,
                 executed=down_at - start,
                 next_free=timeline.next_up(down_at),
                 failure=FailureKind.MACHINE_DOWN,
             )
-        if crash_at is not None:
-            return AttemptOutcome(
+        elif crash_at is not None:
+            outcome = AttemptOutcome(
                 start_time=start,
                 end_time=crash_at,
                 executed=crash_at - start,
                 next_free=crash_at,
                 failure=FailureKind.TASK_CRASH,
             )
-        return AttemptOutcome(
-            start_time=start,
-            end_time=nominal_end,
-            executed=cost,
-            next_free=nominal_end,
-            failure=None,
-        )
+        else:
+            outcome = AttemptOutcome(
+                start_time=start,
+                end_time=nominal_end,
+                executed=cost,
+                next_free=nominal_end,
+                failure=None,
+            )
+        if self.metrics.enabled:
+            self.metrics.counter("faults.attempts").add()
+            if outcome.failure is not None:
+                self.metrics.counter(
+                    f"faults.injected.{outcome.failure.value}"
+                ).add()
+        return outcome

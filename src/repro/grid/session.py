@@ -34,6 +34,7 @@ from repro.faults.retry import RetryPolicy
 from repro.grid.agents import AgentFleet
 from repro.grid.behavior import BehaviorModel
 from repro.grid.topology import Grid
+from repro.obs.metrics import MetricsRegistry
 from repro.scheduling.base import BatchHeuristic
 from repro.scheduling.constraints import TrustConstraint
 from repro.scheduling.policy import TrustPolicy
@@ -156,6 +157,12 @@ class GridSession:
             unsatisfactory transaction, so failures actively erode the
             offending domain's trust and trust-aware scheduling learns to
             route around flaky domains.
+        metrics: optional :class:`MetricsRegistry` shared by all rounds —
+            counts ``session.rounds`` / ``requests`` / ``trust_updates``
+            (published table levels) / ``gamma_evals`` (agent Γ
+            re-evaluations on observed transactions), and is threaded
+            through to each round's scheduler, kernel and injector.
+            Disabled by default.
     """
 
     grid: Grid
@@ -172,6 +179,7 @@ class GridSession:
     faults: FaultModel | None = None
     retry: RetryPolicy | None = None
     failure_satisfaction: float = 0.0
+    metrics: MetricsRegistry | None = None
 
     _now: float = field(default=0.0, init=False)
     _round: int = field(default=0, init=False)
@@ -179,6 +187,8 @@ class GridSession:
     def __post_init__(self) -> None:
         if self.arrival_rate <= 0:
             raise ConfigurationError("arrival_rate must be positive")
+        if self.metrics is None:
+            self.metrics = MetricsRegistry.disabled()
         if self.fleet is None:
             self.fleet = AgentFleet.for_table(self.grid.trust_table)
         if self.fleet.grid_table is not self.grid.trust_table:
@@ -246,17 +256,24 @@ class GridSession:
             faults=injector,
             retry=self.retry if injector is not None else None,
             on_failure=on_failure,
+            metrics=self.metrics,
         )
         result = scheduler.run(requests)
 
         self._now = max(self._now, result.effective_makespan)
         self._round += 1
         tcs = [r.trust_cost for r in result.records]
+        published = self.fleet.total_published() - published_before
+        assert self.metrics is not None
+        if self.metrics.enabled:
+            self.metrics.counter("session.rounds").add()
+            self.metrics.counter("session.requests").add(n_requests)
+            self.metrics.counter("session.trust_updates").add(published)
         return RoundResult(
             index=self._round - 1,
             schedule=result,
             mean_trust_cost=float(np.mean(tcs)) if tcs else 0.0,
-            published_updates=self.fleet.total_published() - published_before,
+            published_updates=published,
             table_levels=self.grid.trust_table.levels.copy(),
             rejected=result.n_rejected,
             failures=len(result.failures),
@@ -289,6 +306,10 @@ class GridSession:
             self.fleet.cd_agents[cd_index].observe_transaction(
                 rd_index, activity, satisfaction, record.completion_time
             )
+            if self.metrics.enabled:  # type: ignore[union-attr]
+                self.metrics.counter("session.gamma_evals").add(
+                    2 if self.score_clients else 1
+                )
             if self.score_clients:
                 self.fleet.rd_agents[rd_index].observe_transaction(
                     cd_index, activity, satisfaction, record.completion_time
@@ -310,5 +331,7 @@ class GridSession:
                 rd_index, activity, self.failure_satisfaction,
                 failure.failure_time,
             )
+            if self.metrics.enabled:  # type: ignore[union-attr]
+                self.metrics.counter("session.gamma_evals").add()
 
         return hook

@@ -1,0 +1,149 @@
+"""Trace lifecycle invariants.
+
+The structured trace is only useful if it is *complete and ordered*: a
+consumer reconstructing a run from the trace must see, for every settled
+request, the full lifecycle
+
+    arrival → assign → completion
+    arrival → reject                          (admission refusal)
+    arrival → assign → failure → retry → …    (fault injection)
+    … → failure → drop                        (retry exhaustion)
+
+with entries in non-decreasing time order.  :func:`check_trace_lifecycle`
+verifies exactly that and returns the violations, so both the invariant
+test suite and ad-hoc tooling can assert "this trace is a faithful record"
+rather than trusting the instrumentation blindly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.sim.trace import TraceEntry
+
+__all__ = ["LifecycleViolation", "check_trace_lifecycle"]
+
+#: Trace kinds that reference one request's lifecycle.
+_REQUEST_KINDS = frozenset(
+    {"arrival", "assign", "reject", "retry", "failure", "drop"}
+)
+
+
+@dataclass(frozen=True, slots=True)
+class LifecycleViolation:
+    """One broken lifecycle invariant.
+
+    Attributes:
+        request: the offending request index (``None`` for global
+            violations such as time-order breaks).
+        rule: short machine-readable tag of the violated rule.
+        message: human-readable explanation.
+    """
+
+    request: int | None
+    rule: str
+    message: str
+
+
+def check_trace_lifecycle(
+    entries: Iterable[TraceEntry],
+    *,
+    completed: Iterable[int] = (),
+    rejected: Iterable[int] = (),
+    dropped: Iterable[int] = (),
+) -> list[LifecycleViolation]:
+    """Check a run's trace against the lifecycle invariants.
+
+    Args:
+        entries: the trace, in emission order.
+        completed: request indices the run reports as completed.
+        rejected: request indices refused admission.
+        dropped: request indices abandoned after retry exhaustion.
+
+    Returns:
+        All violations found (empty = trace is consistent).  Checked rules:
+
+        * ``time-order`` — trace times never decrease;
+        * ``no-arrival`` — every request entry is preceded by its arrival;
+        * ``completed-assign`` / ``rejected-reject`` / ``dropped-drop`` —
+          each settled request carries its terminal entry;
+        * ``retry-after-failure`` — retries only follow failures;
+        * ``causal-order`` — per request, arrival ≤ first assign and each
+          failure ≥ its assign.
+    """
+    violations: list[LifecycleViolation] = []
+    last_time = float("-inf")
+    per_request: dict[int, list[TraceEntry]] = {}
+
+    for entry in entries:
+        if entry.time < last_time:
+            violations.append(
+                LifecycleViolation(
+                    None,
+                    "time-order",
+                    f"{entry.kind} at {entry.time} after clock {last_time}",
+                )
+            )
+        last_time = max(last_time, entry.time)
+        if entry.kind in _REQUEST_KINDS:
+            request = entry.detail.get("request")
+            if request is not None:
+                per_request.setdefault(request, []).append(entry)
+
+    def kinds_of(request: int) -> list[str]:
+        return [e.kind for e in per_request.get(request, ())]
+
+    for request, history in per_request.items():
+        kinds = [e.kind for e in history]
+        if kinds[0] != "arrival":
+            violations.append(
+                LifecycleViolation(
+                    request, "no-arrival", f"first entry is {kinds[0]!r}"
+                )
+            )
+        arrival_time = history[0].time
+        assign_times = [e.time for e in history if e.kind == "assign"]
+        if assign_times and assign_times[0] < arrival_time:
+            violations.append(
+                LifecycleViolation(
+                    request,
+                    "causal-order",
+                    f"assigned at {assign_times[0]} before arrival "
+                    f"at {arrival_time}",
+                )
+            )
+        for position, kind in enumerate(kinds):
+            if kind == "retry" and "failure" not in kinds[:position]:
+                violations.append(
+                    LifecycleViolation(
+                        request, "retry-after-failure",
+                        "retry emitted with no prior failure",
+                    )
+                )
+
+    for request in completed:
+        if "assign" not in kinds_of(request):
+            violations.append(
+                LifecycleViolation(
+                    request, "completed-assign",
+                    "completed request was never assigned in the trace",
+                )
+            )
+    for request in rejected:
+        if "reject" not in kinds_of(request):
+            violations.append(
+                LifecycleViolation(
+                    request, "rejected-reject",
+                    "rejected request has no reject entry",
+                )
+            )
+    for request in dropped:
+        if "drop" not in kinds_of(request):
+            violations.append(
+                LifecycleViolation(
+                    request, "dropped-drop",
+                    "dropped request has no drop entry",
+                )
+            )
+    return violations

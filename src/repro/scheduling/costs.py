@@ -15,6 +15,7 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.grid.request import Request
 from repro.grid.topology import Grid
+from repro.obs.metrics import MetricsRegistry
 from repro.scheduling.constraints import TrustConstraint
 from repro.scheduling.policy import TrustPolicy
 
@@ -33,12 +34,17 @@ class CostProvider:
         constraint: optional hard trust constraint; infeasible machines are
             priced at ``+inf`` in *mapping* rows (realised rows are
             untouched — a relaxed assignment still pays its true cost).
+        metrics: optional registry counting ``costs.ecc_rows`` and
+            ``costs.tc_rows`` evaluations (disabled by default).
     """
 
     grid: Grid
     eec: np.ndarray
     policy: TrustPolicy
     constraint: TrustConstraint | None = None
+    metrics: MetricsRegistry = field(
+        default_factory=MetricsRegistry.disabled, repr=False
+    )
     _tc_cache: dict[int, np.ndarray] = field(default_factory=dict, repr=False)
     _excluded: dict[int, set[int]] = field(default_factory=dict, repr=False)
 
@@ -74,6 +80,8 @@ class CostProvider:
         cached = self._tc_cache.get(request.index)
         if cached is not None:
             return cached
+        if self.metrics.enabled:
+            self.metrics.counter("costs.tc_rows").add()
         row = self.grid.trust_cost_per_machine(
             request.client_domain_index, request.task.activities.indices
         )
@@ -89,6 +97,8 @@ class CostProvider:
         threshold are returned as ``+inf`` (an all-``inf`` row signals a
         rejected request under the ``REJECT`` infeasible policy).
         """
+        if self.metrics.enabled:
+            self.metrics.counter("costs.ecc_rows").add()
         tc = self.trust_cost_row(request)
         row = self.policy.mapping_ecc(self.eec_row(request), tc)
         if self.constraint is not None:
@@ -150,5 +160,13 @@ class CostProvider:
 
         The TC cache is shared structure-wise (same grid, same requests) but
         rebuilt lazily; rows are identical because TC is policy-independent.
+        The installed hard constraint (and metrics registry) carry over —
+        paired aware/unaware comparisons must price feasibility identically.
         """
-        return CostProvider(grid=self.grid, eec=self.eec, policy=policy)
+        return CostProvider(
+            grid=self.grid,
+            eec=self.eec,
+            policy=policy,
+            constraint=self.constraint,
+            metrics=self.metrics,
+        )

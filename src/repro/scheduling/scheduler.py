@@ -46,6 +46,7 @@ from repro.faults.retry import RetryPolicy
 from repro.grid.machine import MachineState
 from repro.grid.request import MetaRequest, Request
 from repro.grid.topology import Grid
+from repro.obs.metrics import MetricsRegistry
 from repro.scheduling.base import BatchHeuristic, ImmediateHeuristic
 from repro.scheduling.constraints import TrustConstraint
 from repro.scheduling.costs import CostProvider
@@ -84,6 +85,13 @@ class TRMScheduler:
             otherwise.
         on_failure: optional hook fired at each failed attempt's failure
             time (the trust-evolution entry point for failures).
+        metrics: optional :class:`MetricsRegistry` receiving the
+            scheduler's run metrics — ``sched.mappings`` / ``completions``
+            / ``retries`` / ``rejections`` / ``drops`` / ``batches``
+            counters and a per-heuristic mapping-latency histogram
+            (``sched.map_latency_s.<name>``) — and threaded through to the
+            kernel, the cost provider and the fault injector.  Disabled by
+            default; instrumentation never changes scheduling decisions.
     """
 
     def __init__(
@@ -100,16 +108,20 @@ class TRMScheduler:
         faults: FaultInjector | None = None,
         retry: RetryPolicy | None = None,
         on_failure: FailureHook | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.grid = grid
         self.policy = policy
         self.heuristic = heuristic
+        self.metrics = metrics if metrics is not None else MetricsRegistry.disabled()
         self.costs = CostProvider(
-            grid=grid, eec=eec, policy=policy, constraint=constraint
+            grid=grid, eec=eec, policy=policy, constraint=constraint,
+            metrics=self.metrics,
         )
         self.tracer = tracer if tracer is not None else Tracer.disabled()
         self.on_complete = on_complete
         self.on_failure = on_failure
+        self._latency_metric = f"sched.map_latency_s.{heuristic.name}"
 
         if faults is None and retry is not None:
             raise ConfigurationError(
@@ -120,6 +132,12 @@ class TRMScheduler:
                 "an on_failure hook without a fault injector never fires"
             )
         self.faults = faults
+        if (
+            faults is not None
+            and self.metrics.enabled
+            and not faults.metrics.enabled
+        ):
+            faults.metrics = self.metrics
         self.retry = (
             retry if retry is not None else (RetryPolicy() if faults else None)
         )
@@ -150,7 +168,7 @@ class TRMScheduler:
         Every request settles exactly once — completed, rejected by the
         admission constraint, or dropped after retry exhaustion.
         """
-        sim = Simulator()
+        sim = Simulator(metrics=self.metrics)
         states = [MachineState(machine=m) for m in self.grid.machines]
         records: dict[int, CompletionRecord] = {}
         rejected: dict[int, str] = {}
@@ -192,6 +210,8 @@ class TRMScheduler:
                 )
             records[request.index] = record
             settled["count"] += 1
+            if self.metrics.enabled:
+                self.metrics.counter("sched.completions").add()
             self.tracer.emit(
                 mapped_time,
                 "assign",
@@ -282,6 +302,8 @@ class TRMScheduler:
             if not self.retry.should_retry(failure.attempt):
                 dropped.append(request.index)
                 settled["count"] += 1
+                if self.metrics.enabled:
+                    self.metrics.counter("sched.drops").add()
                 self.tracer.emit(
                     event.time, "drop", request=request.index,
                     attempts=failure.attempt,
@@ -308,18 +330,25 @@ class TRMScheduler:
         def reject(request: Request, time: float) -> None:
             rejected[request.index] = REASON_CONSTRAINT
             settled["count"] += 1
+            if self.metrics.enabled:
+                self.metrics.counter("sched.rejections").add()
             self.tracer.emit(time, "reject", request=request.index)
 
         def dispatch(request: Request, time: float, *, retry: bool = False) -> None:
             if retry:
+                if self.metrics.enabled:
+                    self.metrics.counter("sched.retries").add()
                 self.tracer.emit(time, "retry", request=request.index)
             if not self.costs.is_feasible(request):
                 reject(request, time)
                 return
             if self.batch_interval is None:
-                machine = self.heuristic.choose(  # type: ignore[union-attr]
-                    request, self.costs, availability(time)
-                )
+                with self.metrics.timer(self._latency_metric):
+                    machine = self.heuristic.choose(  # type: ignore[union-attr]
+                        request, self.costs, availability(time)
+                    )
+                if self.metrics.enabled:
+                    self.metrics.counter("sched.mappings").add()
                 self._check_machine(machine)
                 realize(request, machine, time)
             else:
@@ -336,10 +365,16 @@ class TRMScheduler:
                     pending, formed_at=event.time, index=batch_counter["count"]
                 )
                 batch_counter["count"] += 1
+                if self.metrics.enabled:
+                    self.metrics.counter("sched.batches").add()
+                    self.metrics.histogram("sched.batch_size").observe(len(meta))
                 self.tracer.emit(event.time, "batch", size=len(meta))
-                plan = self.heuristic.plan(  # type: ignore[union-attr]
-                    list(meta), self.costs, availability(event.time)
-                )
+                with self.metrics.timer(self._latency_metric):
+                    plan = self.heuristic.plan(  # type: ignore[union-attr]
+                        list(meta), self.costs, availability(event.time)
+                    )
+                if self.metrics.enabled:
+                    self.metrics.counter("sched.mappings").add(len(meta))
                 if len(plan) != len(meta):
                     raise SchedulingError(
                         f"{self.heuristic.name} planned {len(plan)} of "

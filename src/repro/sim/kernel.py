@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from repro.errors import EventOrderError, SimulationError
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.events import Event, EventPriority
 from repro.sim.queue import EventQueue
 
@@ -24,13 +25,24 @@ class Simulator:
     Attributes:
         now: current simulation time; starts at 0 and only moves forward.
         processed: number of events fired so far.
+        metrics: registry receiving ``sim.events`` (counter),
+            ``sim.queue_depth`` (histogram, sampled after each pop) and
+            ``sim.run_wall_s`` (timer over each :meth:`run`); disabled by
+            default, and the per-event path branches on ``enabled`` so a
+            disabled registry costs one boolean check.
     """
 
-    def __init__(self, *, max_events: int = 10_000_000) -> None:
+    def __init__(
+        self,
+        *,
+        max_events: int = 10_000_000,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
         if max_events < 1:
             raise ValueError("max_events must be positive")
         self.now: float = 0.0
         self.processed: int = 0
+        self.metrics = metrics if metrics is not None else MetricsRegistry.disabled()
         self._queue = EventQueue()
         self._max_events = max_events
         self._running = False
@@ -99,6 +111,9 @@ class Simulator:
             )
         self.now = event.time
         self.processed += 1
+        if self.metrics.enabled:
+            self.metrics.counter("sim.events").add()
+            self.metrics.histogram("sim.queue_depth").observe(len(self._queue))
         event.fire()
         return event
 
@@ -118,16 +133,17 @@ class Simulator:
             raise SimulationError("simulator is already running (reentrant run())")
         self._running = True
         try:
-            while self._queue:
-                next_time = self._queue.peek_time()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
-                    self.now = until
-                    break
-                self.step()
-                if self.processed > self._max_events:
-                    raise SimulationError(self._exhaustion_diagnostic())
+            with self.metrics.timer("sim.run_wall_s"):
+                while self._queue:
+                    next_time = self._queue.peek_time()
+                    if next_time is None:
+                        break
+                    if until is not None and next_time > until:
+                        self.now = until
+                        break
+                    self.step()
+                    if self.processed > self._max_events:
+                        raise SimulationError(self._exhaustion_diagnostic())
             if until is not None and self.now < until:
                 self.now = until
             return self.now

@@ -1,0 +1,113 @@
+"""Tests for ProfiledRun and the config hash."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.profile import MANIFEST_SCHEMA, ProfiledRun, config_hash
+from repro.scheduling.policy import TrustPolicy
+from repro.scheduling.registry import make_heuristic
+from repro.scheduling.scheduler import TRMScheduler
+from repro.workloads.scenario import ScenarioSpec, materialize
+
+
+class TestConfigHash:
+    def test_equal_specs_hash_equally(self):
+        a = ScenarioSpec(n_tasks=10, n_machines=4)
+        b = ScenarioSpec(n_tasks=10, n_machines=4)
+        assert config_hash(a) == config_hash(b)
+
+    def test_different_specs_hash_differently(self):
+        a = ScenarioSpec(n_tasks=10)
+        b = ScenarioSpec(n_tasks=11)
+        assert config_hash(a) != config_hash(b)
+
+    def test_dict_key_order_is_canonical(self):
+        assert config_hash({"a": 1, "b": 2}) == config_hash({"b": 2, "a": 1})
+
+    def test_hash_is_hex_sha256(self):
+        digest = config_hash({"x": 1})
+        assert len(digest) == 64
+        int(digest, 16)
+
+
+def profiled_schedule(seed: int = 5, n_tasks: int = 10):
+    spec = ScenarioSpec(n_tasks=n_tasks, n_machines=4)
+    scenario = materialize(spec, seed=seed)
+    with ProfiledRun(name="unit", config=spec, seed=seed) as prof:
+        result = TRMScheduler(
+            scenario.grid,
+            scenario.eec,
+            TrustPolicy.aware(),
+            make_heuristic("mct"),
+            tracer=prof.tracer,
+            metrics=prof.metrics,
+        ).run(scenario.requests)
+        prof.record_result(result)
+    return prof, result
+
+
+class TestProfiledRun:
+    def test_cannot_reenter(self):
+        prof = ProfiledRun(name="x")
+        with prof:
+            pass
+        with pytest.raises(ConfigurationError):
+            prof.__enter__()
+
+    def test_manifest_shape(self):
+        prof, result = profiled_schedule()
+        manifest = prof.manifest()
+        assert manifest["schema"] == MANIFEST_SCHEMA
+        assert manifest["name"] == "unit"
+        assert manifest["seed"] == 5
+        assert manifest["config"]["n_tasks"] == 10
+        assert len(manifest["config_hash"]) == 64
+        assert manifest["wall_time_s"] > 0.0
+        assert manifest["trace"]["entries"] == len(prof.tracer)
+        assert manifest["results"]["completed"] == result.n_completed
+        assert manifest["metrics"]["sched.mappings"]["value"] == 10
+
+    def test_manifest_is_json_serialisable(self):
+        prof, _ = profiled_schedule()
+        encoded = json.dumps(prof.manifest(), sort_keys=True)
+        assert "repro.obs/manifest-v1" in encoded
+
+    def test_manifest_deterministic_except_wall_time(self):
+        a, _ = profiled_schedule(seed=9)
+        b, _ = profiled_schedule(seed=9)
+        ma, mb = a.manifest(), b.manifest()
+        for manifest in (ma, mb):
+            manifest["wall_time_s"] = 0.0
+            for name in list(manifest["metrics"]):
+                if "wall" in name or "latency" in name:
+                    del manifest["metrics"][name]
+        assert ma == mb
+
+    def test_record_result_merges_dicts(self):
+        prof = ProfiledRun(name="x")
+        with prof:
+            prof.record_result({"custom": 1})
+            prof.record_result({"other": 2.5})
+        results = prof.manifest()["results"]
+        assert results == {"custom": 1, "other": 2.5}
+
+    def test_write_artifacts(self, tmp_path):
+        prof, _ = profiled_schedule()
+        paths = prof.write_artifacts(tmp_path / "out")
+        assert set(paths) == {"manifest", "trace_jsonl", "chrome_trace", "report"}
+        for path in paths.values():
+            assert path.exists()
+        manifest = json.loads(paths["manifest"].read_text())
+        assert manifest["schema"] == MANIFEST_SCHEMA
+        chrome = json.loads(paths["chrome_trace"].read_text())
+        assert all(
+            {"name", "ph", "ts", "pid", "tid"} <= set(e)
+            for e in chrome["traceEvents"]
+        )
+        assert "run: unit" in paths["report"].read_text()
+
+    def test_report_mentions_run_name(self):
+        prof, _ = profiled_schedule()
+        assert "run: unit" in prof.report()

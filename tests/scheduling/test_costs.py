@@ -6,6 +6,8 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.grid.activities import ActivitySet
 from repro.grid.request import Request, Task
+from repro.obs.metrics import MetricsRegistry
+from repro.scheduling.constraints import InfeasiblePolicy, TrustConstraint
 from repro.scheduling.costs import CostProvider
 from repro.scheduling.policy import TrustPolicy
 
@@ -94,3 +96,110 @@ class TestRows:
         np.testing.assert_allclose(provider2.trust_cost_row(atomic)[:2], [0.0, 0.0])
         # Composed drags OTL back to A -> TC 2.
         np.testing.assert_allclose(provider2.trust_cost_row(composed)[:2], [2.0, 2.0])
+
+
+class TestWithPolicyCarriesState:
+    """Regression: ``with_policy`` used to drop the installed constraint,
+    so paired aware/unaware comparisons under a TrustConstraint silently
+    priced feasibility differently per policy."""
+
+    def test_constraint_carries_over(self, small_grid, provider):
+        # TC row is [2, 2, 3]; cap at 2 -> machine 2 must price at +inf
+        # under BOTH policies of a paired comparison.
+        constrained = CostProvider(
+            grid=small_grid,
+            eec=provider.eec,
+            policy=TrustPolicy.aware(),
+            constraint=TrustConstraint(max_trust_cost=2),
+        )
+        unaware = constrained.with_policy(TrustPolicy.unaware())
+        assert unaware.constraint is constrained.constraint
+        req = make_request(small_grid, index=0)
+        assert np.isinf(constrained.mapping_ecc_row(req)[2])
+        assert np.isinf(unaware.mapping_ecc_row(req)[2])
+        np.testing.assert_array_equal(
+            np.isinf(constrained.mapping_ecc_row(req)),
+            np.isinf(unaware.mapping_ecc_row(req)),
+        )
+
+    def test_feasibility_agrees_across_policies(self, small_grid, provider):
+        # Cap below every machine's TC: both providers must reject.
+        constrained = CostProvider(
+            grid=small_grid,
+            eec=provider.eec,
+            policy=TrustPolicy.aware(),
+            constraint=TrustConstraint(
+                max_trust_cost=1, infeasible=InfeasiblePolicy.REJECT
+            ),
+        )
+        unaware = constrained.with_policy(TrustPolicy.unaware())
+        req = make_request(small_grid, index=0)
+        assert not constrained.is_feasible(req)
+        assert not unaware.is_feasible(req)
+
+    def test_metrics_registry_carries_over(self, small_grid, provider):
+        metrics = MetricsRegistry(enabled=True)
+        instrumented = CostProvider(
+            grid=small_grid,
+            eec=provider.eec,
+            policy=TrustPolicy.aware(),
+            metrics=metrics,
+        )
+        other = instrumented.with_policy(TrustPolicy.unaware())
+        assert other.metrics is metrics
+
+
+class TestRetryPricing:
+    """The retry path's cache/exclusion interplay: exclusions must survive
+    a trust-cache invalidation, and the relaxation fallback must restore
+    the full row."""
+
+    def test_exclusion_prices_machine_infinite(self, small_grid, provider):
+        req = make_request(small_grid, index=0)
+        provider.exclude(req.index, 1)
+        row = provider.mapping_ecc_row(req)
+        assert np.isinf(row[1])
+        assert np.isfinite(row[[0, 2]]).all()
+        assert provider.exclusions(req.index) == frozenset({1})
+
+    def test_exclusion_survives_tc_cache_invalidation(self, small_grid, provider):
+        req = make_request(small_grid, index=0)
+        provider.exclude(req.index, 0)
+        # Re-pricing a retry invalidates the TC cache; the exclusions are
+        # independent state and must keep the failed machine at +inf.
+        provider.invalidate_trust_cache(req.index)
+        row = provider.mapping_ecc_row(req)
+        assert np.isinf(row[0])
+        assert np.isfinite(row[1:]).all()
+
+    def test_clear_exclusions_restores_full_row(self, small_grid, provider):
+        req = make_request(small_grid, index=0)
+        baseline = provider.mapping_ecc_row(req).copy()
+        for machine in range(3):
+            provider.exclude(req.index, machine)
+        assert not np.isfinite(provider.mapping_ecc_row(req)).any()
+        # Relaxation fallback: drop all exclusions, full row comes back.
+        provider.clear_exclusions(req.index)
+        np.testing.assert_allclose(provider.mapping_ecc_row(req), baseline)
+
+    def test_invalidation_sees_evolved_trust(self, small_grid, provider):
+        req = make_request(small_grid, index=0)
+        before = provider.trust_cost_row(req).copy()
+        # Trust evolves between attempts: rd0's level for activity 0 rises.
+        small_grid.trust_table.set(0, 0, 0, "E")
+        # Cached row is stale until the retry invalidates it.
+        np.testing.assert_allclose(provider.trust_cost_row(req), before)
+        provider.invalidate_trust_cache(req.index)
+        after = provider.trust_cost_row(req)
+        assert after[0] < before[0]
+
+    def test_exclusions_are_per_request(self, small_grid, provider):
+        first = make_request(small_grid, index=0)
+        second = make_request(small_grid, index=1)
+        provider.exclude(first.index, 2)
+        assert np.isinf(provider.mapping_ecc_row(first)[2])
+        assert np.isfinite(provider.mapping_ecc_row(second)).all()
+
+    def test_exclude_validates_machine_index(self, small_grid, provider):
+        with pytest.raises(ConfigurationError):
+            provider.exclude(0, 99)

@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.workloads",
     "repro.scheduling",
     "repro.faults",
+    "repro.obs",
     "repro.security",
     "repro.metrics",
     "repro.experiments",
@@ -40,6 +41,10 @@ MODULES = [
     "repro.faults.model",
     "repro.faults.injector",
     "repro.faults.retry",
+    "repro.obs.metrics",
+    "repro.obs.export",
+    "repro.obs.invariants",
+    "repro.obs.profile",
     "repro.scheduling.esc_models",
     "repro.scheduling.fast",
     "repro.security.plan",

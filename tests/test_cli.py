@@ -70,3 +70,35 @@ class TestCommands:
         assert main(["replay", str(path), "--heuristic", "sufferage"]) == 0
         out = capsys.readouterr().out
         assert "improvement" in out
+
+    def test_profile_paper_scenario(self, tmp_path, capsys):
+        import json
+
+        out_dir = tmp_path / "prof"
+        assert main([
+            "profile", "paper",
+            "--heuristic", "min-min", "--tasks", "12", "--seed", "3",
+            "--output-dir", str(out_dir),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Metrics:" in out
+        assert "sched.map_latency_s.min-min" in out
+        manifest = json.loads((out_dir / "manifest.json").read_text())
+        assert manifest["schema"] == "repro.obs/manifest-v1"
+        assert manifest["results"]["completed"] == 12
+        assert (out_dir / "trace.jsonl").exists()
+        assert (out_dir / "trace.chrome.json").exists()
+
+    def test_profile_saved_scenario(self, tmp_path, capsys):
+        scenario = tmp_path / "scenario.json"
+        assert main(["save-scenario", str(scenario), "--tasks", "8", "--seed", "4"]) == 0
+        capsys.readouterr()
+        out_dir = tmp_path / "prof"
+        assert main(["profile", str(scenario), "--output-dir", str(out_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "sched.mappings" in out
+        assert (out_dir / "manifest.json").exists()
+
+    def test_profile_missing_scenario_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["profile", str(tmp_path / "nope.json")])

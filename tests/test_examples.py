@@ -59,3 +59,11 @@ class TestExamples:
         assert "One faulty run" in out
         assert "Recovery policies" in out
         assert "goodput gain" in out
+
+    def test_profiling(self, tmp_path):
+        out = run_example("profiling.py", "1", str(tmp_path / "artifacts"))
+        assert "run: minmin-demo" in out
+        assert "mapping latency" in out
+        assert "manifest" in out
+        assert (tmp_path / "artifacts" / "manifest.json").exists()
+        assert (tmp_path / "artifacts" / "trace.jsonl").exists()

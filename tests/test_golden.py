@@ -91,3 +91,69 @@ class TestGoldenOutputs:
         check_golden(
             "scenario_json", json.dumps(data, indent=1, sort_keys=True)
         )
+
+
+def _profiled_run():
+    """One fixed-seed instrumented run shared by the exporter goldens."""
+    from repro import ScenarioSpec, TRMScheduler, TrustPolicy, materialize
+    from repro.obs import ProfiledRun
+    from repro.scheduling import MctHeuristic
+
+    spec = ScenarioSpec(n_tasks=8, n_machines=3, target_load=2.0)
+    scenario = materialize(spec, seed=42)
+    with ProfiledRun(name="golden", config=spec, seed=42) as prof:
+        result = TRMScheduler(
+            scenario.grid,
+            scenario.eec,
+            TrustPolicy.aware(),
+            MctHeuristic(),
+            tracer=prof.tracer,
+            metrics=prof.metrics,
+        ).run(scenario.requests)
+        prof.record_result(result)
+    return prof
+
+
+class TestGoldenObservability:
+    """Freeze the exporter formats: the JSONL trace is bit-stable for a
+    fixed seed, and the manifest's schema (keys + deterministic values)
+    must not drift without a conscious re-freeze."""
+
+    def test_trace_jsonl_stable(self):
+        from repro.obs import trace_to_jsonl_lines
+
+        prof = _profiled_run()
+        check_golden(
+            "obs_trace_jsonl", "\n".join(trace_to_jsonl_lines(prof.tracer))
+        )
+
+    def test_manifest_schema_stable(self):
+        """Golden over the manifest with wall-clock-dependent values
+        masked: key layout, config hash, trace counts and all simulation-
+        time metrics are deterministic and frozen."""
+        import json
+
+        prof = _profiled_run()
+        manifest = prof.manifest()
+        manifest["wall_time_s"] = "<wall>"
+        for name in list(manifest["metrics"]):
+            if "latency" in name or "wall" in name:
+                manifest["metrics"][name] = "<wall-clock histogram>"
+        check_golden(
+            "obs_manifest", json.dumps(manifest, indent=1, sort_keys=True)
+        )
+
+    def test_chrome_trace_validates_and_is_stable(self):
+        import json
+
+        from repro.obs import chrome_trace_events
+
+        prof = _profiled_run()
+        events = chrome_trace_events(prof.tracer)
+        # The trace_event format's required keys, on every event.
+        for event in events:
+            assert {"name", "ph", "ts", "pid", "tid"} <= set(event)
+            assert event["ph"] in ("X", "i")
+        check_golden(
+            "obs_chrome_trace", json.dumps(events, indent=1, sort_keys=True)
+        )
