@@ -1,0 +1,202 @@
+"""Scaling bench — scheduling-kernel perf trajectory (``BENCH_sched.json``).
+
+Sweeps the batch heuristics over growing meta-requests on the Table-6 shape
+(inconsistent Hi/Hi heterogeneity, 16 machines) and records per-heuristic
+wall time of the reference loops vs the vectorised kernels, plus the
+speedup, as a machine-readable JSON artifact at the repository root.  The
+artifact is the project's perf trajectory: regenerate it after kernel work
+and commit it so regressions show up in review as a diff.
+
+Two entry points:
+
+* ``test_sched_kernel_smoke`` — CI guard: runs the smallest size only,
+  validates the artifact schema in-memory and fails if the vectorised
+  kernel falls behind the reference by more than 1.5x (it should *win*;
+  the slack absorbs CI-runner noise).
+* ``test_sched_kernel_full_sweep`` — the real sweep; opt-in via
+  ``BENCH_SCHED_FULL=1`` since the largest size plans 4096 tasks.  Writes
+  ``BENCH_sched.json``.
+
+Reference timings are capped at ``REFERENCE_CAP`` tasks (the pure-Python
+Sufferage loop is quadratic in practice); beyond it only the vectorised
+kernels are timed and ``speedup`` is ``null``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.scheduling.costs import CostProvider
+from repro.scheduling.fast import (
+    FastMaxMinHeuristic,
+    FastMinMinHeuristic,
+    FastSufferageHeuristic,
+)
+from repro.scheduling.maxmin import MaxMinHeuristic
+from repro.scheduling.minmin import MinMinHeuristic
+from repro.scheduling.policy import TrustPolicy
+from repro.scheduling.sufferage import SufferageHeuristic
+from repro.workloads.consistency import Consistency
+from repro.workloads.heterogeneity import HIHI
+from repro.workloads.scenario import ScenarioSpec, materialize
+
+SCHEMA = "repro.bench.sched/v1"
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_sched.json"
+SIZES = (64, 256, 1024, 4096)
+N_MACHINES = 16
+SEED = 0
+REFERENCE_CAP = 1024
+REPEATS = 3
+#: CI guard: the vectorised kernel must not fall behind the reference by
+#: more than this factor at the smoke size.
+SMOKE_SLOWDOWN_LIMIT = 1.5
+
+PAIRS = (
+    ("min-min", MinMinHeuristic, FastMinMinHeuristic),
+    ("max-min", MaxMinHeuristic, FastMaxMinHeuristic),
+    ("sufferage", SufferageHeuristic, FastSufferageHeuristic),
+)
+
+
+def build_case(n_tasks: int):
+    spec = ScenarioSpec(
+        n_tasks=n_tasks,
+        n_machines=N_MACHINES,
+        heterogeneity=HIHI,
+        consistency=Consistency.INCONSISTENT,
+        target_load=3.0,
+    )
+    scenario = materialize(spec, seed=SEED)
+    costs = CostProvider(
+        grid=scenario.grid, eec=scenario.eec, policy=TrustPolicy.aware()
+    )
+    return list(scenario.requests), costs, np.zeros(N_MACHINES)
+
+
+def time_plan(heuristic, requests, costs, avail, repeats: int) -> tuple[float, list]:
+    """Best-of-``repeats`` wall time of a full ``plan()`` call.
+
+    The first (untimed) call warms the provider's trust-cost caches so both
+    kernels are measured in their steady state.
+    """
+    plan = heuristic.plan(requests, costs, avail.copy())
+    best = np.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        heuristic.plan(requests, costs, avail.copy())
+        best = min(best, time.perf_counter() - start)
+    return best, plan
+
+
+def plan_keys(plan) -> list[tuple[int, int]]:
+    return [(p.request.index, p.machine_index) for p in plan]
+
+
+def run_sweep(sizes, repeats: int = REPEATS) -> dict:
+    """Time every heuristic pair at every size; returns the JSON payload."""
+    results = []
+    for n_tasks in sizes:
+        requests, costs, avail = build_case(n_tasks)
+        for name, Reference, Fast in PAIRS:
+            fast_s, fast_plan = time_plan(Fast(), requests, costs, avail, repeats)
+            if n_tasks <= REFERENCE_CAP:
+                ref_s, ref_plan = time_plan(
+                    Reference(), requests, costs, avail, repeats
+                )
+                assert plan_keys(ref_plan) == plan_keys(fast_plan), (
+                    f"{name} plans diverged at n_tasks={n_tasks}"
+                )
+                speedup = ref_s / fast_s
+            else:
+                ref_s = None
+                speedup = None
+            results.append(
+                {
+                    "heuristic": name,
+                    "n_tasks": n_tasks,
+                    "reference_s": ref_s,
+                    "vectorized_s": fast_s,
+                    "speedup": speedup,
+                }
+            )
+    return {
+        "schema": SCHEMA,
+        "workload": {
+            "heterogeneity": "HiHi",
+            "consistency": "inconsistent",
+            "n_machines": N_MACHINES,
+            "target_load": 3.0,
+            "seed": SEED,
+        },
+        "reference_cap": REFERENCE_CAP,
+        "repeats": repeats,
+        "results": results,
+    }
+
+
+def validate_payload(payload: dict) -> None:
+    """Schema check shared by the CI smoke test and artifact consumers."""
+    assert payload["schema"] == SCHEMA
+    assert set(payload) == {"schema", "workload", "reference_cap", "repeats", "results"}
+    workload = payload["workload"]
+    assert set(workload) == {
+        "heterogeneity", "consistency", "n_machines", "target_load", "seed",
+    }
+    assert payload["results"], "empty results"
+    for entry in payload["results"]:
+        assert set(entry) == {
+            "heuristic", "n_tasks", "reference_s", "vectorized_s", "speedup",
+        }
+        assert entry["heuristic"] in {name for name, _, _ in PAIRS}
+        assert entry["n_tasks"] > 0
+        assert entry["vectorized_s"] > 0
+        if entry["n_tasks"] <= payload["reference_cap"]:
+            assert entry["reference_s"] > 0
+            assert entry["speedup"] == pytest.approx(
+                entry["reference_s"] / entry["vectorized_s"]
+            )
+        else:
+            assert entry["reference_s"] is None and entry["speedup"] is None
+
+
+def test_sched_kernel_smoke():
+    payload = run_sweep(sizes=SIZES[:1], repeats=1)
+    validate_payload(payload)
+    for entry in payload["results"]:
+        assert entry["speedup"] >= 1.0 / SMOKE_SLOWDOWN_LIMIT, (
+            f"vectorized {entry['heuristic']} fell behind the reference "
+            f"({entry['speedup']:.2f}x) at n_tasks={entry['n_tasks']}"
+        )
+
+
+def test_artifact_matches_schema():
+    """The committed perf trajectory must stay machine-readable."""
+    if not ARTIFACT.exists():
+        pytest.skip(f"{ARTIFACT.name} not generated yet")
+    validate_payload(json.loads(ARTIFACT.read_text(encoding="utf-8")))
+
+
+@pytest.mark.skipif(
+    os.environ.get("BENCH_SCHED_FULL") != "1",
+    reason="full sweep is opt-in: BENCH_SCHED_FULL=1",
+)
+def test_sched_kernel_full_sweep():
+    payload = run_sweep(SIZES)
+    validate_payload(payload)
+    ARTIFACT.write_text(json.dumps(payload, indent=1) + "\n", encoding="utf-8")
+    lines = [f"perf trajectory written to {ARTIFACT}"]
+    for entry in payload["results"]:
+        speedup = (
+            f"{entry['speedup']:6.2f}x" if entry["speedup"] is not None else "   n/a"
+        )
+        lines.append(
+            f"{entry['heuristic']:>10} n={entry['n_tasks']:<5} "
+            f"vectorized {entry['vectorized_s'] * 1e3:8.2f} ms  speedup {speedup}"
+        )
+    print("\n".join(lines))

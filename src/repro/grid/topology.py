@@ -123,6 +123,30 @@ class Grid:
         )
         return per_rd[self.machine_rd]
 
+    def trust_cost_matrix(
+        self, cd_indices: np.ndarray, activity_masks: np.ndarray
+    ) -> np.ndarray:
+        """Batched :meth:`trust_cost_per_machine` over many (CD, ToA-set) keys.
+
+        Args:
+            cd_indices: client-domain index per key, shape ``(k,)``.
+            activity_masks: boolean ``(k, n_activities)`` ToA membership per
+                key (see :meth:`GridTrustTable.offered_rows`).
+
+        Returns:
+            Integer TC matrix of shape ``(k, n_machines)``; row ``i`` is
+            bit-identical to ``trust_cost_per_machine(cd_indices[i], ...)``.
+        """
+        cds = np.asarray(cd_indices, dtype=np.int64)
+        n_cd = len(self.client_domains)
+        if cds.size and (cds.min() < 0 or cds.max() >= n_cd):
+            raise ConfigurationError(
+                f"client domain indices must lie in [0, {n_cd - 1}]"
+            )
+        required = np.maximum(self.cd_required[cds][:, None], self.rd_required[None, :])
+        per_rd = self.trust_table.trust_cost_rows(cds, activity_masks, required)
+        return per_rd[:, self.machine_rd]
+
 
 class GridBuilder:
     """Step-by-step constructor for :class:`Grid` objects.

@@ -142,6 +142,39 @@ class GridTrustTable:
         otl = self.offered_level(cd, rd, activities)
         return self._ets.lookup(TrustLevel.from_value(required), otl)
 
+    def offered_rows(
+        self, cds: np.ndarray, activity_masks: np.ndarray
+    ) -> np.ndarray:
+        """OTL rows for many (CD, ToA-set) keys in one vectorised pass.
+
+        Args:
+            cds: integer array of client-domain indices, shape ``(k,)``.
+            activity_masks: boolean matrix of shape ``(k, n_activities)``;
+                row ``i`` marks the member ToAs of key ``i`` (each row must
+                select at least one activity).
+
+        Returns:
+            Integer OTL matrix of shape ``(k, n_resource_domains)``; row
+            ``i`` equals ``offered_row(cds[i], <set of masks[i]>)``.
+        """
+        cds = np.asarray(cds, dtype=np.int64)
+        masks = np.asarray(activity_masks, dtype=bool)
+        n_cd, _, n_act = self._levels.shape
+        if masks.ndim != 2 or masks.shape != (cds.shape[0], n_act):
+            raise ValueError(
+                f"activity_masks shape {masks.shape} != ({cds.shape[0]}, {n_act})"
+            )
+        if cds.size and (cds.min() < 0 or cds.max() >= n_cd):
+            raise ValueError(f"client-domain indices must lie in [0, {n_cd - 1}]")
+        if not masks.any(axis=1).all():
+            raise ValueError("every activity mask must select at least one ToA")
+        # Non-member activities are raised above any storable level so the
+        # min over the activity axis sees only the member ToAs.
+        levels = self._levels[cds]  # (k, n_rd, n_act)
+        sentinel = np.int64(int(MAX_OFFERED_LEVEL) + 1)
+        masked = np.where(masks[:, None, :], levels, sentinel)
+        return masked.min(axis=2)
+
     def trust_cost_row(
         self,
         cd: int,
@@ -164,6 +197,33 @@ class GridTrustTable:
         if required.shape != otls.shape:
             raise ValueError(
                 f"required_per_rd shape {required.shape} != ({otls.shape[0]},)"
+            )
+        return self._ets.lookup_many(required, otls)
+
+    def trust_cost_rows(
+        self,
+        cds: np.ndarray,
+        activity_masks: np.ndarray,
+        required_per_rd: np.ndarray,
+    ) -> np.ndarray:
+        """Trust-cost matrix for many (CD, ToA-set) keys in one pass.
+
+        Args:
+            cds: client-domain indices, shape ``(k,)``.
+            activity_masks: boolean ``(k, n_activities)`` ToA membership.
+            required_per_rd: integer RTL matrix of shape
+                ``(k, n_resource_domains)`` — row ``i`` is the effective
+                requirement of key ``i`` against every RD.
+
+        Returns:
+            Integer TC matrix of shape ``(k, n_resource_domains)``, row-wise
+            identical to :meth:`trust_cost_row` on each key.
+        """
+        otls = self.offered_rows(cds, activity_masks)
+        required = np.asarray(required_per_rd, dtype=np.int64)
+        if required.shape != otls.shape:
+            raise ValueError(
+                f"required_per_rd shape {required.shape} != {otls.shape}"
             )
         return self._ets.lookup_many(required, otls)
 

@@ -7,7 +7,13 @@ from repro.scheduling.constraints import InfeasiblePolicy, TrustConstraint
 from repro.scheduling.costs import CostProvider
 from repro.scheduling.duplex import DuplexHeuristic
 from repro.scheduling.esc_models import EscModel, LadderEsc, LinearEsc, TableEsc
-from repro.scheduling.kpb import KpbHeuristic
+from repro.scheduling.fast import (
+    FastKpbHeuristic,
+    FastMaxMinHeuristic,
+    FastMinMinHeuristic,
+    FastSufferageHeuristic,
+)
+from repro.scheduling.kpb import KpbHeuristic, kpb_subset_size
 from repro.scheduling.maxmin import MaxMinHeuristic
 from repro.scheduling.mct import MctHeuristic
 from repro.scheduling.met import MetHeuristic
@@ -44,7 +50,12 @@ __all__ = [
     "LinearEsc",
     "LadderEsc",
     "TableEsc",
+    "FastKpbHeuristic",
+    "FastMaxMinHeuristic",
+    "FastMinMinHeuristic",
+    "FastSufferageHeuristic",
     "KpbHeuristic",
+    "kpb_subset_size",
     "MaxMinHeuristic",
     "MctHeuristic",
     "MetHeuristic",

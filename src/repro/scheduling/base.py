@@ -66,6 +66,10 @@ class ImmediateHeuristic(ABC):
 
     #: Short registry name, e.g. ``"mct"``.
     name: str = "immediate"
+    #: Kernel implementation label (``"reference"`` loops vs ``"vectorized"``
+    #: fast paths); surfaces as the ``sched.kernel`` label on the
+    #: mapping-latency histograms.
+    kernel: str = "reference"
 
     @abstractmethod
     def choose(
@@ -92,6 +96,8 @@ class BatchHeuristic(ABC):
 
     #: Short registry name, e.g. ``"min-min"``.
     name: str = "batch"
+    #: Kernel implementation label (see :attr:`ImmediateHeuristic.kernel`).
+    kernel: str = "reference"
 
     @abstractmethod
     def plan(
@@ -118,7 +124,10 @@ class BatchHeuristic(ABC):
     ) -> np.ndarray:
         """Stack the believed ECC rows of ``requests`` into a matrix.
 
-        Rows follow the order of ``requests``; columns are machines.
+        Rows follow the order of ``requests``; columns are machines.  This
+        is the *reference* row-by-row assembly, kept as the oracle the
+        vectorised :meth:`CostProvider.mapping_ecc_matrix` is equivalence-
+        tested against; fast kernels call the batched path instead.
         """
         if not requests:
             return np.zeros((0, costs.grid.n_machines), dtype=np.float64)

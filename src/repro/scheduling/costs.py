@@ -2,12 +2,26 @@
 
 Bridges the workload (EEC matrix), the Grid trust model (trust costs) and
 the :class:`~repro.scheduling.policy.TrustPolicy` into the per-request cost
-rows the heuristics consume.  Trust-cost rows are cached per request since
-batch heuristics query them repeatedly.
+rows the heuristics consume.
+
+Two caching layers keep the hot path off the Python interpreter:
+
+* trust-cost rows are cached per **pricing key** ``(client domain, ToA
+  set)`` — TC depends only on those, so duplicate requests share one row —
+  with per-request overrides layered on top for retry re-pricing;
+* final mapping rows (policy + constraint + exclusions applied) are cached
+  per request and invalidated whenever the inputs of that one request
+  change (``exclude`` / ``clear_exclusions`` / ``invalidate_trust_cache``).
+
+Batch heuristics should prefer :meth:`CostProvider.mapping_ecc_matrix`,
+which assembles all believed-cost rows of a meta-request in one vectorised
+pass (EEC gathered by task-index fancy indexing, TC computed once per
+unique pricing key, constraint masking and exclusions as matrix ops).
 """
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -16,10 +30,13 @@ from repro.errors import ConfigurationError
 from repro.grid.request import Request
 from repro.grid.topology import Grid
 from repro.obs.metrics import MetricsRegistry
-from repro.scheduling.constraints import TrustConstraint
+from repro.scheduling.constraints import InfeasiblePolicy, TrustConstraint
 from repro.scheduling.policy import TrustPolicy
 
 __all__ = ["CostProvider"]
+
+#: Cache key of one trust-cost row: (client-domain index, sorted ToA indices).
+TcKey = tuple[int, tuple[int, ...]]
 
 
 @dataclass
@@ -34,8 +51,9 @@ class CostProvider:
         constraint: optional hard trust constraint; infeasible machines are
             priced at ``+inf`` in *mapping* rows (realised rows are
             untouched — a relaxed assignment still pays its true cost).
-        metrics: optional registry counting ``costs.ecc_rows`` and
-            ``costs.tc_rows`` evaluations (disabled by default).
+        metrics: optional registry counting ``costs.ecc_rows`` (rows served)
+            and ``costs.tc_rows`` (rows actually computed) — disabled by
+            default.
     """
 
     grid: Grid
@@ -45,7 +63,11 @@ class CostProvider:
     metrics: MetricsRegistry = field(
         default_factory=MetricsRegistry.disabled, repr=False
     )
-    _tc_cache: dict[int, np.ndarray] = field(default_factory=dict, repr=False)
+    _tc_cache: dict[TcKey, np.ndarray] = field(default_factory=dict, repr=False)
+    _key_cache: dict[int, TcKey] = field(default_factory=dict, repr=False)
+    _tc_override: dict[int, np.ndarray] = field(default_factory=dict, repr=False)
+    _tc_dirty: set[int] = field(default_factory=set, repr=False)
+    _row_cache: dict[int, np.ndarray] = field(default_factory=dict, repr=False)
     _excluded: dict[int, set[int]] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
@@ -71,15 +93,19 @@ class CostProvider:
             )
         return self.eec[task]
 
-    def trust_cost_row(self, request: Request) -> np.ndarray:
-        """Trust cost TC of the request on every machine (cached).
+    def _tc_key(self, request: Request) -> TcKey:
+        # Memoised per request index: requests are immutable, and building
+        # the key (sorting the ToA indices) shows up on the warm batch path.
+        key = self._key_cache.get(request.index)
+        if key is None:
+            key = (
+                request.client_domain_index,
+                tuple(sorted(request.task.activities.indices)),
+            )
+            self._key_cache[request.index] = key
+        return key
 
-        TC depends only on the originating CD, the task's ToA set and the
-        machine's RD, so it is computed once per request.
-        """
-        cached = self._tc_cache.get(request.index)
-        if cached is not None:
-            return cached
+    def _compute_tc_row(self, request: Request) -> np.ndarray:
         if self.metrics.enabled:
             self.metrics.counter("costs.tc_rows").add()
         row = self.grid.trust_cost_per_machine(
@@ -87,7 +113,32 @@ class CostProvider:
         )
         row = np.asarray(row, dtype=np.float64)
         row.setflags(write=False)
-        self._tc_cache[request.index] = row
+        return row
+
+    def trust_cost_row(self, request: Request) -> np.ndarray:
+        """Trust cost TC of the request on every machine (cached).
+
+        TC depends only on the originating CD, the task's ToA set and the
+        machine's RD, so one row is computed per unique *pricing key* and
+        shared by duplicate requests.  A request whose cache was invalidated
+        (retry re-pricing) recomputes into a per-request override without
+        disturbing the shared row its siblings keep using.
+        """
+        idx = request.index
+        if idx in self._tc_dirty:
+            self._tc_dirty.discard(idx)
+            row = self._compute_tc_row(request)
+            self._tc_override[idx] = row
+            return row
+        override = self._tc_override.get(idx)
+        if override is not None:
+            return override
+        key = self._tc_key(request)
+        cached = self._tc_cache.get(key)
+        if cached is not None:
+            return cached
+        row = self._compute_tc_row(request)
+        self._tc_cache[key] = row
         return row
 
     def mapping_ecc_row(self, request: Request) -> np.ndarray:
@@ -95,19 +146,111 @@ class CostProvider:
 
         With a hard constraint installed, machines exceeding the trust-cost
         threshold are returned as ``+inf`` (an all-``inf`` row signals a
-        rejected request under the ``REJECT`` infeasible policy).
+        rejected request under the ``REJECT`` infeasible policy).  The
+        finished row — constraint and exclusions applied — is cached per
+        request and returned read-only; repeated queries (every round of a
+        batch heuristic) cost one dict lookup.
         """
         if self.metrics.enabled:
             self.metrics.counter("costs.ecc_rows").add()
+        cached = self._row_cache.get(request.index)
+        if cached is not None:
+            return cached
         tc = self.trust_cost_row(request)
         row = self.policy.mapping_ecc(self.eec_row(request), tc)
         if self.constraint is not None:
             row = self.constraint.apply(row, tc)
         excluded = self._excluded.get(request.index)
         if excluded:
-            row = row.copy()
             row[list(excluded)] = np.inf
+        row.setflags(write=False)
+        self._row_cache[request.index] = row
         return row
+
+    # -- batched assembly ----------------------------------------------------
+
+    def mapping_ecc_matrix(self, requests: Sequence[Request]) -> np.ndarray:
+        """Believed ECC rows of a whole meta-request, in one vectorised pass.
+
+        Row ``i`` is bit-identical to ``mapping_ecc_row(requests[i])``: EEC
+        rows are gathered by task-index fancy indexing, trust-cost rows are
+        computed once per unique pricing key (honouring per-request retry
+        overrides), and constraint masking plus retry exclusions are applied
+        as whole-matrix operations.
+
+        Returns:
+            A writable float matrix of shape ``(len(requests), n_machines)``.
+        """
+        n = len(requests)
+        m = self.grid.n_machines
+        if n == 0:
+            return np.zeros((0, m), dtype=np.float64)
+        if self.metrics.enabled:
+            self.metrics.counter("costs.ecc_rows").add(n)
+        tasks = np.fromiter((r.task.index for r in requests), dtype=np.int64, count=n)
+        if tasks.min() < 0 or tasks.max() >= self.eec.shape[0]:
+            bad = int(tasks[(tasks < 0) | (tasks >= self.eec.shape[0])][0])
+            raise ConfigurationError(
+                f"task index {bad} outside the EEC matrix ({self.eec.shape[0]} rows)"
+            )
+        eec = self.eec[tasks]
+        tc = self._tc_matrix(requests)
+        ecc = self.policy.mapping_ecc(eec, tc)
+        if self.constraint is not None:
+            mask = tc <= self.constraint.max_trust_cost
+            constrained = np.where(mask, ecc, np.inf)
+            infeasible = ~mask.any(axis=1)
+            if infeasible.any() and (
+                self.constraint.infeasible is InfeasiblePolicy.RELAX
+            ):
+                constrained[infeasible] = ecc[infeasible]
+            ecc = constrained
+        if self._excluded:
+            for pos, request in enumerate(requests):
+                excluded = self._excluded.get(request.index)
+                if excluded:
+                    ecc[pos, list(excluded)] = np.inf
+        return ecc
+
+    def _tc_matrix(self, requests: Sequence[Request]) -> np.ndarray:
+        """Float TC matrix for ``requests``; one computation per unique key.
+
+        Requests carrying retry state (dirty or overridden) resolve through
+        the scalar path; everything else shares rows via the key cache, with
+        the missing keys computed in one batched trust-table pass.
+        """
+        n = len(requests)
+        tc = np.empty((n, self.grid.n_machines), dtype=np.float64)
+        missing: dict[TcKey, list[int]] = {}
+        for pos, request in enumerate(requests):
+            idx = request.index
+            if idx in self._tc_dirty or idx in self._tc_override:
+                tc[pos] = self.trust_cost_row(request)
+                continue
+            key = self._tc_key(request)
+            cached = self._tc_cache.get(key)
+            if cached is not None:
+                tc[pos] = cached
+            else:
+                missing.setdefault(key, []).append(pos)
+        if missing:
+            keys = list(missing)
+            if self.metrics.enabled:
+                self.metrics.counter("costs.tc_rows").add(len(keys))
+            cds = np.fromiter((cd for cd, _ in keys), dtype=np.int64, count=len(keys))
+            masks = np.zeros((len(keys), len(self.grid.catalog)), dtype=bool)
+            for i, (_cd, activities) in enumerate(keys):
+                masks[i, list(activities)] = True
+            rows = np.asarray(
+                self.grid.trust_cost_matrix(cds, masks), dtype=np.float64
+            )
+            for i, key in enumerate(keys):
+                row = rows[i].copy()
+                row.setflags(write=False)
+                self._tc_cache[key] = row
+                for pos in missing[key]:
+                    tc[pos] = row
+        return tc
 
     # -- retry support -------------------------------------------------------
 
@@ -121,6 +264,7 @@ class CostProvider:
         if not 0 <= machine_index < self.grid.n_machines:
             raise ConfigurationError(f"machine index {machine_index} out of range")
         self._excluded.setdefault(request_index, set()).add(machine_index)
+        self._row_cache.pop(request_index, None)
 
     def exclusions(self, request_index: int) -> frozenset[int]:
         """Machines currently excluded for ``request_index``."""
@@ -129,14 +273,19 @@ class CostProvider:
     def clear_exclusions(self, request_index: int) -> None:
         """Drop all exclusions of one request (relaxation fallback)."""
         self._excluded.pop(request_index, None)
+        self._row_cache.pop(request_index, None)
 
     def invalidate_trust_cache(self, request_index: int) -> None:
         """Forget the cached TC row of one request.
 
         Retried requests are re-priced so a re-mapping decision sees trust
-        levels as evolved by the failures observed meanwhile.
+        levels as evolved by the failures observed meanwhile.  Only the
+        retried request recomputes — an identical sibling request keeps the
+        shared row it was priced with.
         """
-        self._tc_cache.pop(request_index, None)
+        self._tc_dirty.add(request_index)
+        self._tc_override.pop(request_index, None)
+        self._row_cache.pop(request_index, None)
 
     def is_feasible(self, request: Request) -> bool:
         """Whether at least one machine may legally host ``request``.
@@ -145,8 +294,6 @@ class CostProvider:
         """
         if self.constraint is None:
             return True
-        from repro.scheduling.constraints import InfeasiblePolicy
-
         if self.constraint.infeasible is InfeasiblePolicy.RELAX:
             return True
         return bool(self.constraint.feasible_mask(self.trust_cost_row(request)).any())

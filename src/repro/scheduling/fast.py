@@ -1,21 +1,31 @@
-"""Vectorised fast paths for the batch heuristics.
+"""Vectorised fast kernels for the mapping heuristics.
 
 Following the optimisation discipline of the project's HPC guides — make it
 work, make it right, *then* make it fast against a profile — these are
-drop-in replacements for the reference batch heuristics with the
-per-iteration Python row loops replaced by whole-matrix NumPy operations:
+drop-in replacements for the reference heuristics with the per-round Python
+work replaced by batched and *incremental* NumPy kernels:
 
-* :class:`FastMinMinHeuristic` — masks assigned rows with ``+inf`` instead
-  of re-slicing the cost matrix every round;
-* :class:`FastSufferageHeuristic` — computes every row's best/second-best
-  completion with one :func:`numpy.partition` per iteration and resolves
-  machine contention with grouped argmax.
+* :class:`FastMinMinHeuristic` / :class:`FastMaxMinHeuristic` — incremental
+  greedy rounds: each row's (best machine, best completion) is maintained
+  across rounds and only the rows whose best sat on the committed machine's
+  column are re-minimised, instead of re-slicing the whole cost matrix
+  every round;
+* :class:`FastSufferageHeuristic` — best/second-best completions for all
+  remaining rows via one :func:`numpy.partition` over the live submatrix,
+  with per-machine claim resolution done by a single lexsort instead of a
+  Python loop over machines;
+* :class:`FastKpbHeuristic` — candidate subset via O(m)
+  :func:`numpy.argpartition` instead of a full sort.
 
-Both produce plans **identical** to the reference implementations (the
-equivalence is property-tested in
-``tests/scheduling/test_fast_equivalence.py``); the speedup is measured by
-``benchmarks/bench_fast_heuristics.py``.  They register under
-``"min-min-fast"`` / ``"sufferage-fast"``.
+All of them read their costs through the batched
+:meth:`~repro.scheduling.costs.CostProvider.mapping_ecc_matrix` assembly
+and produce plans/choices **bit-identical** to the reference kernels —
+same assignments, same order, same tie-breaks — which stay in place as the
+oracles (``_reference_plan``) the equivalence suite in
+``tests/scheduling/test_fast_equivalence.py`` checks against.  The speedup
+trajectory is measured by ``benchmarks/bench_sched_kernel.py`` and pinned
+in ``BENCH_sched.json``.  They register under ``"min-min-fast"`` /
+``"max-min-fast"`` / ``"sufferage-fast"`` / ``"kpb-fast"``.
 """
 
 from __future__ import annotations
@@ -24,17 +34,102 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro.errors import ConfigurationError
 from repro.grid.request import Request
-from repro.scheduling.base import BatchHeuristic, PlannedAssignment, check_avail
+from repro.scheduling.base import (
+    BatchHeuristic,
+    ImmediateHeuristic,
+    PlannedAssignment,
+    check_avail,
+)
 from repro.scheduling.costs import CostProvider
+from repro.scheduling.kpb import KpbHeuristic, kpb_subset_size
+from repro.scheduling.maxmin import MaxMinHeuristic
+from repro.scheduling.minmin import MinMinHeuristic
+from repro.scheduling.sufferage import SufferageHeuristic
 
-__all__ = ["FastMinMinHeuristic", "FastSufferageHeuristic"]
+__all__ = [
+    "FastMinMinHeuristic",
+    "FastMaxMinHeuristic",
+    "FastSufferageHeuristic",
+    "FastKpbHeuristic",
+]
+
+
+def _incremental_greedy_plan(
+    requests: Sequence[Request],
+    costs: CostProvider,
+    avail: np.ndarray,
+    *,
+    prefer_max: bool,
+) -> list[PlannedAssignment]:
+    """Incremental Min-min / Max-min rounds, bit-identical to the reference.
+
+    Invariant: for every live row, the stored ``(best_machine, best_value)``
+    equals a fresh first-index argmin over its current completion row.
+    Committing a request only *raises* the chosen machine's availability
+    (completions are strictly positive), so rows whose best sits elsewhere
+    keep their argmin — only the rows pointing at the committed machine's
+    column are re-minimised.  Request selection scans the live positions in
+    ascending order, reproducing the reference's first-index tie-break over
+    its (always ascending) ``remaining`` list.
+    """
+    avail = check_avail(avail, costs.grid.n_machines).copy()
+    n = len(requests)
+    if n == 0:
+        return []
+
+    # No completion matrix is maintained: affected rows are re-priced from
+    # ``ecc`` plus the *current* avail vector, which is exactly the fresh
+    # per-round completion the reference computes.  The equality scratch
+    # buffer is hoisted out of the loop (the rounds are numpy-call-overhead
+    # bound).
+    ecc = costs.mapping_ecc_matrix(requests)
+    completion = ecc + avail[None, :]
+    on_machine = np.empty(n, dtype=bool)
+    positions = np.arange(n)
+    best_machine = completion.argmin(axis=1)
+    best_value = completion[positions, best_machine]
+    del completion
+    # Committed rows are retired in place: the selection key is pinned to
+    # the absorbing sentinel and the machine to -1 (no live completion is
+    # ever -inf — and +inf only on all-inf rejected rows, handled below —
+    # so retired rows cannot win a pick and never match a committed column).
+    sentinel = -np.inf if prefer_max else np.inf
+    plan: list[PlannedAssignment] = []
+
+    for order in range(n):
+        pick = int(best_value.argmax() if prefer_max else best_value.argmin())
+        if best_machine[pick] < 0:
+            # Only reachable when every live best is +inf (all-inf rejected
+            # rows under Min-min): the global argmin landed on a retired
+            # row, so re-pick the earliest live one, as the reference does.
+            live = np.flatnonzero(best_machine >= 0)
+            pick = int(live[np.argmin(best_value[live])])
+        machine = int(best_machine[pick])
+        new_avail = float(best_value[pick])
+        best_value[pick] = sentinel
+        best_machine[pick] = -1
+        plan.append(PlannedAssignment(requests[pick], machine, order))
+        if order == n - 1:
+            break
+        avail[machine] = new_avail
+        np.equal(best_machine, machine, out=on_machine)
+        affected = on_machine.nonzero()[0]
+        if affected.size:
+            sub = ecc.take(affected, axis=0)
+            sub += avail
+            refreshed = sub.argmin(axis=1)
+            best_machine[affected] = refreshed
+            best_value[affected] = sub[positions[: affected.size], refreshed]
+    return plan
 
 
 class FastMinMinHeuristic(BatchHeuristic):
-    """Vectorised Min-min: identical plans, O(rounds × m) masking."""
+    """Incremental vectorised Min-min: identical plans, O(n·m) total updates."""
 
     name = "min-min-fast"
+    kernel = "vectorized"
 
     def plan(
         self,
@@ -42,41 +137,39 @@ class FastMinMinHeuristic(BatchHeuristic):
         costs: CostProvider,
         avail: np.ndarray,
     ) -> list[PlannedAssignment]:
-        avail = check_avail(avail, costs.grid.n_machines).copy()
-        n = len(requests)
-        if n == 0:
-            return []
+        return _incremental_greedy_plan(requests, costs, avail, prefer_max=False)
 
-        ecc = self.mapping_matrix(requests, costs)
-        completion = ecc + avail[None, :]
-        alive = np.ones(n, dtype=bool)
-        plan: list[PlannedAssignment] = []
+    @staticmethod
+    def _reference_plan(requests, costs, avail) -> list[PlannedAssignment]:
+        """Oracle: the reference loop this kernel must match bit-for-bit."""
+        return MinMinHeuristic().plan(requests, costs, avail)
 
-        for _ in range(n):
-            best_machine = np.argmin(completion, axis=1)
-            best_value = completion[np.arange(n), best_machine]
-            best_value = np.where(alive, best_value, np.inf)
-            pick = int(np.argmin(best_value))
-            machine = int(best_machine[pick])
-            new_avail = float(best_value[pick])
 
-            # Update the chosen machine's column for the still-alive rows.
-            delta = new_avail - avail[machine]
-            avail[machine] = new_avail
-            completion[:, machine] += delta
-            alive[pick] = False
-            plan.append(
-                PlannedAssignment(
-                    request=requests[pick], machine_index=machine, order=len(plan)
-                )
-            )
-        return plan
+class FastMaxMinHeuristic(BatchHeuristic):
+    """Incremental vectorised Max-min (same machinery, largest-best commit)."""
+
+    name = "max-min-fast"
+    kernel = "vectorized"
+
+    def plan(
+        self,
+        requests: Sequence[Request],
+        costs: CostProvider,
+        avail: np.ndarray,
+    ) -> list[PlannedAssignment]:
+        return _incremental_greedy_plan(requests, costs, avail, prefer_max=True)
+
+    @staticmethod
+    def _reference_plan(requests, costs, avail) -> list[PlannedAssignment]:
+        """Oracle: the reference loop this kernel must match bit-for-bit."""
+        return MaxMinHeuristic().plan(requests, costs, avail)
 
 
 class FastSufferageHeuristic(BatchHeuristic):
-    """Vectorised Sufferage: per-iteration claims via grouped argmax."""
+    """Vectorised Sufferage: one partition + one lexsort per iteration."""
 
     name = "sufferage-fast"
+    kernel = "vectorized"
 
     def plan(
         self,
@@ -89,37 +182,101 @@ class FastSufferageHeuristic(BatchHeuristic):
         if n == 0:
             return []
 
-        ecc = self.mapping_matrix(requests, costs)
+        ecc = costs.mapping_ecc_matrix(requests)
         n_machines = ecc.shape[1]
         remaining = np.arange(n)
         plan: list[PlannedAssignment] = []
 
         while remaining.size:
             rows = ecc[remaining] + avail[None, :]
+            k = rows.shape[0]
+            positions = np.arange(k)
             best_machine = np.argmin(rows, axis=1)
+            best = rows[positions, best_machine]
             if n_machines == 1:
-                best = rows[:, 0]
-                sufferage = np.zeros_like(best)
+                second = best
             else:
-                two = np.partition(rows, 1, axis=1)[:, :2]
-                best = two[:, 0]
-                sufferage = two[:, 1] - two[:, 0]
+                second = np.partition(rows, 1, axis=1)[:, 1]
+            with np.errstate(invalid="ignore"):
+                sufferage = second - best  # NaN only for all-inf (rejected) rows
 
-            taken = np.zeros(remaining.size, dtype=bool)
-            # Resolve contention per claimed machine: the first row (in
-            # ascending position order) attaining the maximal sufferage wins,
-            # matching the reference's strict-greater replacement rule.
-            for machine in np.unique(best_machine):
-                contenders = np.flatnonzero(best_machine == machine)
-                winner = contenders[int(np.argmax(sufferage[contenders]))]
+            # The reference walks positions in ascending order and replaces
+            # a machine's claim only on *strictly* greater sufferage, i.e.
+            # the winner is the earliest position attaining the group's
+            # maximal sufferage — except that a NaN first claimant is never
+            # replaced (NaN comparisons are False), so it wins outright.
+            suff_key = np.where(np.isnan(sufferage), -np.inf, sufferage)
+            by_suff = np.lexsort((positions, -suff_key, best_machine))
+            by_pos = np.lexsort((positions, best_machine))
+            group_start = np.ones(k, dtype=bool)
+            group_start[1:] = best_machine[by_suff[1:]] != best_machine[by_suff[:-1]]
+            winners = by_suff[group_start]
+            group_start[1:] = best_machine[by_pos[1:]] != best_machine[by_pos[:-1]]
+            first_claimants = by_pos[group_start]
+            winners = np.where(
+                np.isnan(sufferage[first_claimants]), first_claimants, winners
+            )
+
+            # Both lexsorts group machines in ascending order, so committing
+            # winners in array order reproduces the reference's
+            # sorted-by-machine commit order.
+            for winner in winners:
+                machine = int(best_machine[winner])
                 avail[machine] = float(best[winner])
-                taken[winner] = True
                 plan.append(
                     PlannedAssignment(
                         request=requests[int(remaining[winner])],
-                        machine_index=int(machine),
+                        machine_index=machine,
                         order=len(plan),
                     )
                 )
+            taken = np.zeros(k, dtype=bool)
+            taken[winners] = True
             remaining = remaining[~taken]
         return plan
+
+    @staticmethod
+    def _reference_plan(requests, costs, avail) -> list[PlannedAssignment]:
+        """Oracle: the reference loop this kernel must match bit-for-bit."""
+        return SufferageHeuristic().plan(requests, costs, avail)
+
+
+class FastKpbHeuristic(ImmediateHeuristic):
+    """Vectorised KPB: O(m) candidate selection via argpartition.
+
+    The candidate *set* is identical to the reference's stable
+    ``argsort(...)[:subset_size]`` — all machines strictly below the
+    boundary cost plus the lowest-index machines tied at it — and the final
+    ordering by ``(cost, machine index)`` reproduces the reference
+    tie-break exactly, so choices are bit-identical at O(m) instead of
+    O(m log m).
+    """
+
+    name = "kpb-fast"
+    kernel = "vectorized"
+
+    def __init__(self, k_percent: float = 40.0) -> None:
+        if not 0.0 < k_percent <= 100.0:
+            raise ConfigurationError("k_percent must lie in (0, 100]")
+        self.k_percent = k_percent
+
+    def choose(self, request: Request, costs: CostProvider, avail: np.ndarray) -> int:
+        avail = check_avail(avail, costs.grid.n_machines)
+        ecc = costs.mapping_ecc_row(request)
+        n = ecc.shape[0]
+        subset_size = kpb_subset_size(n, self.k_percent)
+        if subset_size >= n:
+            candidates = np.arange(n)
+        else:
+            smallest = np.argpartition(ecc, subset_size - 1)[:subset_size]
+            boundary = ecc[smallest].max()
+            strict = np.flatnonzero(ecc < boundary)
+            ties = np.flatnonzero(ecc == boundary)[: subset_size - strict.size]
+            candidates = np.concatenate((strict, ties))
+        candidates = candidates[np.lexsort((candidates, ecc[candidates]))]
+        completion = avail[candidates] + ecc[candidates]
+        return int(candidates[int(np.argmin(completion))])
+
+    def _reference_choose(self, request, costs, avail) -> int:
+        """Oracle: the reference KPB choice this kernel must match."""
+        return KpbHeuristic(self.k_percent).choose(request, costs, avail)

@@ -18,11 +18,24 @@ from repro.grid.request import Request
 from repro.scheduling.base import ImmediateHeuristic, check_avail
 from repro.scheduling.costs import CostProvider
 
-__all__ = ["KpbHeuristic"]
+__all__ = ["KpbHeuristic", "kpb_subset_size"]
+
+
+def kpb_subset_size(n_machines: int, k_percent: float) -> int:
+    """Candidate-subset size for ``k_percent`` over ``n_machines`` machines."""
+    return max(1, math.ceil(n_machines * k_percent / 100.0))
 
 
 class KpbHeuristic(ImmediateHeuristic):
     """Minimum completion cost within the k-percent cheapest machines.
+
+    Reference kernel; tie-breaks are pinned (and frozen by the golden
+    tie-break tests): the candidate subset is the first ``subset_size``
+    machines in ``(cost, machine index)`` order — a *stable* selection, so
+    machines tied at the subset boundary are admitted lowest-index first —
+    and among candidates tied on completion the one earliest in that same
+    order wins.  The vectorised
+    :class:`~repro.scheduling.fast.FastKpbHeuristic` is proven bit-identical.
 
     Args:
         k_percent: size of the candidate subset, in percent of the machine
@@ -39,9 +52,8 @@ class KpbHeuristic(ImmediateHeuristic):
     def choose(self, request: Request, costs: CostProvider, avail: np.ndarray) -> int:
         avail = check_avail(avail, costs.grid.n_machines)
         ecc = costs.mapping_ecc_row(request)
-        n = ecc.shape[0]
-        subset_size = max(1, math.ceil(n * self.k_percent / 100.0))
-        # Indices of the subset_size cheapest machines by execution cost.
-        candidates = np.argpartition(ecc, subset_size - 1)[:subset_size]
+        subset_size = kpb_subset_size(ecc.shape[0], self.k_percent)
+        # The subset_size cheapest machines by execution cost, stable order.
+        candidates = np.argsort(ecc, kind="stable")[:subset_size]
         completion = avail[candidates] + ecc[candidates]
         return int(candidates[int(np.argmin(completion))])

@@ -29,7 +29,14 @@ def greedy_min_completion_plan(
     *,
     prefer_max: bool,
 ) -> list[PlannedAssignment]:
-    """The Min-min / Max-min greedy loop.
+    """The Min-min / Max-min greedy loop (reference kernel).
+
+    This is the *reference oracle* the incremental vectorised kernels in
+    :mod:`repro.scheduling.fast` are proven bit-identical to.  Its
+    deterministic tie-breaks are part of the contract: the best machine of
+    a row is the lowest-index argmin, and among requests tied on the best
+    completion the lowest original position wins (``remaining`` stays in
+    ascending order, so NumPy's first-index argmin/argmax delivers that).
 
     Args:
         requests: the meta-request members.

@@ -12,7 +12,12 @@ from collections.abc import Callable
 from repro.errors import ConfigurationError
 from repro.scheduling.base import BatchHeuristic, ImmediateHeuristic
 from repro.scheduling.duplex import DuplexHeuristic
-from repro.scheduling.fast import FastMinMinHeuristic, FastSufferageHeuristic
+from repro.scheduling.fast import (
+    FastKpbHeuristic,
+    FastMaxMinHeuristic,
+    FastMinMinHeuristic,
+    FastSufferageHeuristic,
+)
 from repro.scheduling.kpb import KpbHeuristic
 from repro.scheduling.maxmin import MaxMinHeuristic
 from repro.scheduling.mct import MctHeuristic
@@ -38,10 +43,12 @@ _REGISTRY: dict[str, HeuristicFactory] = {
     "met": MetHeuristic,
     "olb": OlbHeuristic,
     "kpb": KpbHeuristic,
+    "kpb-fast": FastKpbHeuristic,
     "sa": SwitchingHeuristic,
     "min-min": MinMinHeuristic,
     "min-min-fast": FastMinMinHeuristic,
     "max-min": MaxMinHeuristic,
+    "max-min-fast": FastMaxMinHeuristic,
     "sufferage": SufferageHeuristic,
     "sufferage-fast": FastSufferageHeuristic,
     "duplex": DuplexHeuristic,

@@ -13,6 +13,7 @@ Both are fuzzed over scenarios (with and without fault injection) via
 hypothesis, mirroring the DES-ordering properties in ``tests/sim``.
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -117,6 +118,24 @@ class TestNonInterference:
         metrics = MetricsRegistry.disabled()
         run_case(params, metrics=metrics)
         assert metrics.snapshot() == {}
+
+    @pytest.mark.parametrize(
+        "heuristic,kernel",
+        [("min-min", "reference"), ("min-min-fast", "vectorized")],
+    )
+    def test_latency_histogram_carries_kernel_label(self, heuristic, kernel):
+        """The mapping-latency histogram separates reference loops from the
+        vectorised fast paths via the ``kernel=`` label suffix."""
+        params = {
+            "n_tasks": 8, "n_machines": 3, "seed": 2,
+            "heuristic": heuristic, "crash_prob": 0.0, "machine_faults": False,
+        }
+        metrics = MetricsRegistry(enabled=True)
+        run_case(params, metrics=metrics)
+        name = f"sched.map_latency_s.{heuristic}.kernel={kernel}"
+        snapshot = metrics.snapshot()
+        assert name in snapshot
+        assert snapshot[name]["count"] >= 1
 
 
 class TestTraceLifecycle:

@@ -203,3 +203,188 @@ class TestRetryPricing:
     def test_exclude_validates_machine_index(self, small_grid, provider):
         with pytest.raises(ConfigurationError):
             provider.exclude(0, 99)
+
+
+class TestSharedTrustCostCache:
+    """Regression: the TC cache used to be keyed by ``request.index``, so
+    duplicate requests (same client domain, same ToA set) each recomputed
+    an identical row.  It is now keyed by the pricing key and shared."""
+
+    def make_provider(self, small_grid):
+        metrics = MetricsRegistry(enabled=True)
+        eec = np.array([[10.0, 20.0, 30.0], [5.0, 5.0, 5.0]])
+        provider = CostProvider(
+            grid=small_grid, eec=eec, policy=TrustPolicy.aware(), metrics=metrics
+        )
+        return provider, metrics
+
+    def test_duplicate_requests_share_one_row(self, small_grid):
+        provider, metrics = self.make_provider(small_grid)
+        first = make_request(small_grid, index=0, client=0, activities=(0,))
+        twin = make_request(small_grid, index=1, client=0, activities=(0,))
+        row = provider.trust_cost_row(first)
+        assert metrics.counter("costs.tc_rows").value == 1
+        assert provider.trust_cost_row(twin) is row
+        assert metrics.counter("costs.tc_rows").value == 1  # no recompute
+
+    def test_key_normalises_activity_order(self, small_grid):
+        provider, metrics = self.make_provider(small_grid)
+        a = make_request(small_grid, index=0, activities=(0, 1))
+        b = make_request(small_grid, index=1, activities=(1, 0))
+        assert provider.trust_cost_row(a) is provider.trust_cost_row(b)
+        assert metrics.counter("costs.tc_rows").value == 1
+
+    def test_distinct_keys_do_not_collide(self, small_grid):
+        provider, _ = self.make_provider(small_grid)
+        by_client = provider.trust_cost_row(
+            make_request(small_grid, index=0, client=0)
+        )
+        other_client = provider.trust_cost_row(
+            make_request(small_grid, index=1, client=1)
+        )
+        assert by_client is not other_client
+
+    def test_retried_request_reprices_sibling_does_not(self, small_grid):
+        provider, metrics = self.make_provider(small_grid)
+        retried = make_request(small_grid, index=0, client=0, activities=(0,))
+        sibling = make_request(small_grid, index=1, client=0, activities=(0,))
+        before = provider.trust_cost_row(retried)
+        assert provider.trust_cost_row(sibling) is before
+        # Trust evolves between attempts; only the retried request re-prices.
+        small_grid.trust_table.set(0, 0, 0, "E")
+        provider.invalidate_trust_cache(retried.index)
+        after = provider.trust_cost_row(retried)
+        assert after[0] < before[0]
+        assert metrics.counter("costs.tc_rows").value == 2
+        # The identical sibling keeps the shared row, with no recompute.
+        assert provider.trust_cost_row(sibling) is before
+        assert metrics.counter("costs.tc_rows").value == 2
+        # The override is sticky for the retried request.
+        assert provider.trust_cost_row(retried) is after
+
+
+class TestMappingRowCache:
+    """Regression: ``mapping_ecc_row`` used to rebuild (and copy) the row on
+    every call for requests carrying exclusions; the finished row is now
+    cached and invalidated exactly at the exclusion/invalidation points."""
+
+    def test_repeated_calls_return_cached_object(self, small_grid, provider):
+        req = make_request(small_grid, index=0)
+        row = provider.mapping_ecc_row(req)
+        assert provider.mapping_ecc_row(req) is row
+        with pytest.raises(ValueError):
+            row[0] = 0.0  # cached row is frozen
+
+    def test_excluded_request_row_is_cached_too(self, small_grid, provider):
+        req = make_request(small_grid, index=0)
+        provider.exclude(req.index, 1)
+        row = provider.mapping_ecc_row(req)
+        assert np.isinf(row[1])
+        assert provider.mapping_ecc_row(req) is row  # no per-call copy
+
+    def test_exclude_invalidates_cached_row(self, small_grid, provider):
+        req = make_request(small_grid, index=0)
+        before = provider.mapping_ecc_row(req)
+        provider.exclude(req.index, 2)
+        after = provider.mapping_ecc_row(req)
+        assert after is not before
+        assert np.isinf(after[2]) and np.isfinite(before[2])
+
+    def test_clear_exclusions_invalidates_cached_row(self, small_grid, provider):
+        req = make_request(small_grid, index=0)
+        baseline = provider.mapping_ecc_row(req).copy()
+        provider.exclude(req.index, 0)
+        provider.clear_exclusions(req.index)
+        np.testing.assert_array_equal(provider.mapping_ecc_row(req), baseline)
+
+    def test_trust_invalidation_refreshes_mapping_row(self, small_grid, provider):
+        req = make_request(small_grid, index=0)
+        before = provider.mapping_ecc_row(req)
+        small_grid.trust_table.set(0, 0, 0, "E")
+        assert provider.mapping_ecc_row(req) is before  # stale until retry
+        provider.invalidate_trust_cache(req.index)
+        after = provider.mapping_ecc_row(req)
+        assert after[0] < before[0]
+
+
+class TestMatrixAssembly:
+    """The batched ``mapping_ecc_matrix`` must be bit-identical to stacking
+    ``mapping_ecc_row`` calls, across constraints and retry exclusions."""
+
+    def requests(self, small_grid):
+        return [
+            make_request(small_grid, index=0, client=0, activities=(0,)),
+            make_request(small_grid, index=1, client=1, activities=(0, 1)),
+        ]
+
+    def stack(self, provider, requests):
+        return np.stack([provider.mapping_ecc_row(r) for r in requests])
+
+    def test_matches_rows_bitwise(self, small_grid, provider):
+        requests = self.requests(small_grid)
+        np.testing.assert_array_equal(
+            provider.mapping_ecc_matrix(requests), self.stack(provider, requests)
+        )
+
+    def test_empty_batch(self, small_grid, provider):
+        assert provider.mapping_ecc_matrix([]).shape == (0, 3)
+
+    def test_task_index_validated(self, small_grid, provider):
+        with pytest.raises(ConfigurationError):
+            provider.mapping_ecc_matrix([make_request(small_grid, index=9)])
+
+    @pytest.mark.parametrize("infeasible", list(InfeasiblePolicy))
+    def test_matches_rows_under_constraint(self, small_grid, infeasible):
+        # Cap at 1: client 0 has no feasible machine (TC row [2, 2, 3]) so
+        # the infeasible policy kicks in; client 1 (TC row [1, 1, 3]) keeps
+        # a partially-masked row.
+        provider = CostProvider(
+            grid=small_grid,
+            eec=np.array([[10.0, 20.0, 30.0], [5.0, 5.0, 5.0]]),
+            policy=TrustPolicy.aware(),
+            constraint=TrustConstraint(max_trust_cost=1, infeasible=infeasible),
+        )
+        requests = self.requests(small_grid)
+        matrix = provider.mapping_ecc_matrix(requests)
+        np.testing.assert_array_equal(matrix, self.stack(provider, requests))
+        if infeasible is InfeasiblePolicy.REJECT:
+            assert not np.isfinite(matrix[0]).any()
+        else:
+            assert np.isfinite(matrix[0]).all()
+
+    def test_matches_rows_with_exclusions_and_override(self, small_grid, provider):
+        requests = self.requests(small_grid)
+        provider.exclude(0, 1)
+        small_grid.trust_table.set(0, 0, 0, "E")
+        provider.invalidate_trust_cache(0)
+        matrix = provider.mapping_ecc_matrix(requests)
+        np.testing.assert_array_equal(matrix, self.stack(provider, requests))
+        assert np.isinf(matrix[0, 1])
+
+    def test_matrix_is_writable_and_detached(self, small_grid, provider):
+        requests = self.requests(small_grid)
+        matrix = provider.mapping_ecc_matrix(requests)
+        matrix[:] = -1.0  # callers may scribble on their copy
+        np.testing.assert_array_equal(
+            provider.mapping_ecc_matrix(requests), self.stack(provider, requests)
+        )
+
+    def test_counts_rows_served_and_tc_computed(self, small_grid):
+        metrics = MetricsRegistry(enabled=True)
+        provider = CostProvider(
+            grid=small_grid,
+            eec=np.array([[10.0, 20.0, 30.0], [5.0, 5.0, 5.0]]),
+            policy=TrustPolicy.aware(),
+            metrics=metrics,
+        )
+        # Two requests sharing one pricing key: 2 rows served, 1 TC row.
+        requests = [
+            make_request(small_grid, index=0, client=0, activities=(0,)),
+            make_request(small_grid, index=1, client=0, activities=(0,)),
+        ]
+        provider.mapping_ecc_matrix(requests)
+        assert metrics.counter("costs.ecc_rows").value == 2
+        assert metrics.counter("costs.tc_rows").value == 1
+        provider.mapping_ecc_matrix(requests)
+        assert metrics.counter("costs.ecc_rows").value == 4
+        assert metrics.counter("costs.tc_rows").value == 1  # cache hit

@@ -1,7 +1,10 @@
 """Equivalence of the vectorised fast paths with the reference heuristics.
 
 The fast implementations must produce *identical plans* — same
-request→machine assignments in the same order — for arbitrary scenarios.
+request→machine assignments in the same order — for arbitrary scenarios,
+including under hard trust constraints, retry exclusions and trust-cache
+invalidation.  The batched ``mapping_ecc_matrix`` assembly must likewise be
+bit-identical to stacking reference rows.
 """
 
 import numpy as np
@@ -9,8 +12,17 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.scheduling.base import BatchHeuristic
+from repro.scheduling.constraints import InfeasiblePolicy, TrustConstraint
 from repro.scheduling.costs import CostProvider
-from repro.scheduling.fast import FastMinMinHeuristic, FastSufferageHeuristic
+from repro.scheduling.fast import (
+    FastKpbHeuristic,
+    FastMaxMinHeuristic,
+    FastMinMinHeuristic,
+    FastSufferageHeuristic,
+)
+from repro.scheduling.kpb import KpbHeuristic
+from repro.scheduling.maxmin import MaxMinHeuristic
 from repro.scheduling.minmin import MinMinHeuristic
 from repro.scheduling.policy import TrustPolicy
 from repro.scheduling.sufferage import SufferageHeuristic
@@ -18,6 +30,7 @@ from repro.workloads.scenario import ScenarioSpec, materialize
 
 PAIRS = [
     (MinMinHeuristic, FastMinMinHeuristic),
+    (MaxMinHeuristic, FastMaxMinHeuristic),
     (SufferageHeuristic, FastSufferageHeuristic),
 ]
 
@@ -28,12 +41,32 @@ def plans_equal(a, b) -> bool:
     ]
 
 
-def make_case(seed: int, n_tasks: int, n_machines: int, trust_aware: bool):
+def make_case(
+    seed: int,
+    n_tasks: int,
+    n_machines: int,
+    trust_aware: bool,
+    constraint: TrustConstraint | None = None,
+):
     spec = ScenarioSpec(n_tasks=n_tasks, n_machines=n_machines, target_load=3.0)
     scenario = materialize(spec, seed=seed)
     policy = TrustPolicy(trust_aware)
-    costs = CostProvider(grid=scenario.grid, eec=scenario.eec, policy=policy)
+    costs = CostProvider(
+        grid=scenario.grid, eec=scenario.eec, policy=policy, constraint=constraint
+    )
     return scenario, costs
+
+
+def apply_retry_state(scenario, costs, seed: int) -> None:
+    """Exclude a few request/machine pairs and invalidate a few TC rows,
+    mimicking the scheduler's retry re-pricing mid-run."""
+    rng = np.random.default_rng(seed)
+    requests = scenario.requests
+    n_machines = scenario.grid.n_machines
+    for req in rng.choice(requests, size=min(3, len(requests)), replace=False):
+        costs.exclude(req.index, int(rng.integers(n_machines)))
+    for req in rng.choice(requests, size=min(2, len(requests)), replace=False):
+        costs.invalidate_trust_cache(req.index)
 
 
 @pytest.mark.parametrize("Reference,Fast", PAIRS, ids=lambda c: c.__name__)
@@ -62,6 +95,15 @@ class TestEquivalence:
         _, costs = make_case(seed=3, n_tasks=2, n_machines=3, trust_aware=True)
         assert Fast().plan([], costs, np.zeros(3)) == []
 
+    def test_tied_costs(self, Reference, Fast):
+        # A uniform EEC matrix makes every completion a tie: the plans agree
+        # only if the fast path reproduces the reference tie-breaks exactly.
+        scenario, costs = make_case(seed=4, n_tasks=12, n_machines=4, trust_aware=False)
+        costs.eec = np.full_like(costs.eec, 7.0)
+        ref = Reference().plan(list(scenario.requests), costs, np.zeros(4))
+        fast = Fast().plan(list(scenario.requests), costs, np.zeros(4))
+        assert plans_equal(ref, fast)
+
     @settings(max_examples=40, deadline=None)
     @given(
         seed=st.integers(min_value=0, max_value=10_000),
@@ -77,11 +119,127 @@ class TestEquivalence:
         fast = Fast().plan(list(scenario.requests), costs, avail.copy())
         assert plans_equal(ref, fast)
 
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        max_tc=st.integers(min_value=0, max_value=6),
+        infeasible=st.sampled_from(list(InfeasiblePolicy)),
+    )
+    def test_property_equivalence_under_constraint(
+        self, Reference, Fast, seed, max_tc, infeasible
+    ):
+        # Tight constraints produce +inf-masked (and, under REJECT, all-inf)
+        # rows — the hardest tie-break territory for the incremental kernels.
+        constraint = TrustConstraint(max_trust_cost=max_tc, infeasible=infeasible)
+        scenario, costs = make_case(
+            seed, n_tasks=18, n_machines=5, trust_aware=True, constraint=constraint
+        )
+        avail = np.random.default_rng(seed + 1).uniform(0, 200, size=5)
+        ref = Reference().plan(list(scenario.requests), costs, avail.copy())
+        fast = Fast().plan(list(scenario.requests), costs, avail.copy())
+        assert plans_equal(ref, fast)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_property_equivalence_with_retry_state(self, Reference, Fast, seed):
+        scenario, costs = make_case(seed, n_tasks=16, n_machines=4, trust_aware=True)
+        apply_retry_state(scenario, costs, seed)
+        ref = Reference().plan(list(scenario.requests), costs, np.zeros(4))
+        fast = Fast().plan(list(scenario.requests), costs, np.zeros(4))
+        assert plans_equal(ref, fast)
+
+
+class TestKpbEquivalence:
+    """The immediate-mode KPB fast path must make identical choices."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n_machines=st.integers(min_value=1, max_value=12),
+        k_percent=st.sampled_from([10.0, 25.0, 40.0, 75.0, 100.0]),
+        trust_aware=st.booleans(),
+    )
+    def test_property_choice_equivalence(self, seed, n_machines, k_percent, trust_aware):
+        scenario, costs = make_case(seed, 10, n_machines, trust_aware)
+        avail = np.random.default_rng(seed + 1).uniform(0, 300, size=n_machines)
+        ref = KpbHeuristic(k_percent)
+        fast = FastKpbHeuristic(k_percent)
+        for req in scenario.requests:
+            assert fast.choose(req, costs, avail) == ref.choose(req, costs, avail)
+
+    def test_tied_costs(self):
+        # Uniform costs: the candidate subset boundary is one big tie.
+        scenario, costs = make_case(seed=5, n_tasks=4, n_machines=8, trust_aware=False)
+        costs.eec = np.full_like(costs.eec, 3.0)
+        avail = np.zeros(8)
+        for req in scenario.requests:
+            assert (
+                FastKpbHeuristic(40.0).choose(req, costs, avail)
+                == KpbHeuristic(40.0).choose(req, costs, avail)
+            )
+
+
+class TestMatrixEquivalence:
+    """``mapping_ecc_matrix`` vs stacked ``mapping_ecc_row`` bit-identity
+    under the same adversarial states the plan equivalence runs through."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        trust_aware=st.booleans(),
+        constrained=st.booleans(),
+        with_retry_state=st.booleans(),
+    )
+    def test_property_bit_identity(self, seed, trust_aware, constrained, with_retry_state):
+        constraint = (
+            TrustConstraint(
+                max_trust_cost=seed % 7,
+                infeasible=list(InfeasiblePolicy)[seed % 2],
+            )
+            if constrained
+            else None
+        )
+        scenario, costs = make_case(seed, 14, 4, trust_aware, constraint=constraint)
+        if with_retry_state:
+            apply_retry_state(scenario, costs, seed)
+        requests = list(scenario.requests)
+        reference = BatchHeuristic.mapping_matrix(requests, costs)
+        np.testing.assert_array_equal(costs.mapping_ecc_matrix(requests), reference)
+
 
 class TestRegistryExposure:
     def test_fast_variants_registered(self):
         from repro.scheduling.registry import is_batch, make_heuristic
 
         assert isinstance(make_heuristic("min-min-fast"), FastMinMinHeuristic)
+        assert isinstance(make_heuristic("max-min-fast"), FastMaxMinHeuristic)
         assert isinstance(make_heuristic("sufferage-fast"), FastSufferageHeuristic)
+        assert isinstance(make_heuristic("kpb-fast"), FastKpbHeuristic)
         assert is_batch("min-min-fast") and is_batch("sufferage-fast")
+        assert is_batch("max-min-fast") and not is_batch("kpb-fast")
+
+    def test_kernel_labels(self):
+        for Fast in (
+            FastMinMinHeuristic,
+            FastMaxMinHeuristic,
+            FastSufferageHeuristic,
+        ):
+            assert Fast.kernel == "vectorized"
+        assert FastKpbHeuristic.kernel == "vectorized"
+        for Reference in (MinMinHeuristic, MaxMinHeuristic, SufferageHeuristic, KpbHeuristic):
+            assert Reference.kernel == "reference"
+
+    def test_reference_oracle_hooks(self):
+        scenario, costs = make_case(seed=6, n_tasks=6, n_machines=3, trust_aware=True)
+        avail = np.zeros(3)
+        requests = list(scenario.requests)
+        for Fast in (FastMinMinHeuristic, FastMaxMinHeuristic, FastSufferageHeuristic):
+            heuristic = Fast()
+            assert plans_equal(
+                heuristic.plan(requests, costs, avail),
+                heuristic._reference_plan(requests, costs, avail),
+            )
+        kpb = FastKpbHeuristic()
+        assert kpb.choose(requests[0], costs, avail) == kpb._reference_choose(
+            requests[0], costs, avail
+        )
