@@ -9,6 +9,7 @@ Subcommands::
     repro-trms theorem mct          # empirical makespan-dominance check
     repro-trms run --heuristic mct --tasks 50 --seed 1   # one simulation
     repro-trms faults               # fault-injection resilience comparison
+    repro-trms trustfaults          # adversarial recommenders vs purging
     repro-trms profile paper        # instrumented run: manifest + traces
 """
 
@@ -104,6 +105,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_faults.add_argument(
         "--max-attempts", type=int, default=3,
         help="execution attempts before a request is dropped (default 3)",
+    )
+
+    p_tf = sub.add_parser(
+        "trustfaults",
+        help="trust-plane attack: honest vs attacked vs defended",
+    )
+    p_tf.add_argument("--rounds", type=int, default=8)
+    p_tf.add_argument("--requests", type=int, default=30)
+    p_tf.add_argument("--seed", type=int, default=0)
+    p_tf.add_argument("--heuristic", default="mct")
+    p_tf.add_argument(
+        "--target-rd", type=int, default=0,
+        help="the flaky resource domain the attack props up (default 0)",
+    )
+    p_tf.add_argument(
+        "--recommenders", type=int, default=4,
+        help="adversarial recommenders per attack group (default 4)",
+    )
+    p_tf.add_argument(
+        "--purge-threshold", type=float, default=0.3,
+        help="accuracy below which the defended arm purges (default 0.3)",
+    )
+    p_tf.add_argument(
+        "--artifact", default=None,
+        help="also write the machine-readable study JSON to this path",
     )
 
     p_val = sub.add_parser(
@@ -276,6 +302,14 @@ def _dispatch(args) -> int:
             _cmd_faults(
                 args.rounds, args.requests, args.seed, args.heuristic,
                 args.crash_prob, args.mtbf, args.max_attempts,
+            )
+        )
+    elif args.command == "trustfaults":
+        print(
+            _cmd_trustfaults(
+                args.rounds, args.requests, args.seed, args.heuristic,
+                args.target_rd, args.recommenders, args.purge_threshold,
+                args.artifact,
             )
         )
     elif args.command == "validate":
@@ -518,6 +552,66 @@ def _cmd_faults(
         f"goodput gain: {format_percent(study.goodput_gain)}   "
         f"wasted-work reduction: {study.waste_reduction:+.1%}",
     ]
+    return "\n".join(lines)
+
+
+def _cmd_trustfaults(
+    rounds: int,
+    requests: int,
+    seed: int,
+    heuristic: str,
+    target_rd: int,
+    recommenders: int,
+    purge_threshold: float,
+    artifact: str | None,
+) -> str:
+    from repro.experiments import (
+        PAPER_BATCH_INTERVAL,
+        run_trustfault_study,
+        write_study_artifact,
+    )
+    from repro.metrics import Table, format_percent, format_seconds
+    from repro.scheduling import is_batch
+
+    study = run_trustfault_study(
+        seed=seed,
+        rounds=rounds,
+        requests_per_round=requests,
+        heuristic=heuristic,
+        batch_interval=PAPER_BATCH_INTERVAL if is_batch(heuristic) else None,
+        target_rd=target_rd,
+        n_recommenders=recommenders,
+        purge_threshold=purge_threshold,
+    )
+    table = Table(
+        headers=[
+            "Arm", "Completed", "Dropped", "Injected",
+            "Purged", "Rep. error", "Makespan",
+        ],
+        title=(
+            f"Trust-plane attack ({heuristic}, {recommenders} adversaries "
+            f"per group, {rounds} rounds):"
+        ),
+    )
+    for o in (study.honest, study.attacked, study.defended):
+        table.add_row(
+            o.label,
+            o.completed,
+            o.dropped,
+            o.injected_opinions,
+            len(o.purged),
+            f"{study.reputation_error(o):.4f}",
+            format_seconds(o.makespan),
+        )
+    lines = [
+        table.render(),
+        "",
+        f"reputation-error recovery: {format_percent(study.error_recovery)}   "
+        f"makespan recovery: {format_percent(study.makespan_recovery)}",
+    ]
+    if artifact is not None:
+        path = write_study_artifact(study, artifact)
+        lines += ["", f"artifact written to {path}"]
     return "\n".join(lines)
 
 

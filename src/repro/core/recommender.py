@@ -33,28 +33,44 @@ class AllianceRegistry:
 
     def __init__(self) -> None:
         self._groups: dict[str, set[EntityId]] = {}
+        # Inverted index entity -> group names; alliance checks sit on the
+        # reputation hot path (one per recommender per Γ evaluation), so
+        # membership must resolve without scanning every declared group.
+        self._membership: dict[EntityId, set[str]] = {}
 
     def declare(self, name: str, members: Iterable[EntityId]) -> None:
         """Create or extend the alliance ``name`` with ``members``."""
         group = self._groups.setdefault(name, set())
-        group.update(members)
+        for member in members:
+            group.add(member)
+            self._membership.setdefault(member, set()).add(name)
 
     def dissolve(self, name: str) -> None:
         """Remove an alliance group entirely; raises ``KeyError`` if absent."""
-        del self._groups[name]
+        group = self._groups.pop(name)
+        for member in group:
+            names = self._membership[member]
+            names.discard(name)
+            if not names:
+                del self._membership[member]
 
     def allied(self, a: EntityId, b: EntityId) -> bool:
         """Whether ``a`` and ``b`` share at least one alliance group."""
         if a == b:
             return True
-        return any(a in group and b in group for group in self._groups.values())
+        ga = self._membership.get(a)
+        if ga is None:
+            return False
+        gb = self._membership.get(b)
+        if gb is None:
+            return False
+        return not ga.isdisjoint(gb)
 
     def allies_of(self, entity: EntityId) -> frozenset[EntityId]:
         """Every entity allied with ``entity`` (excluding itself)."""
         allies: set[EntityId] = set()
-        for group in self._groups.values():
-            if entity in group:
-                allies.update(group)
+        for name in self._membership.get(entity, ()):
+            allies.update(self._groups[name])
         allies.discard(entity)
         return frozenset(allies)
 

@@ -12,6 +12,7 @@ caller-supplied prior (default 0).
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass, field
 
 from repro.core.context import TrustContext
@@ -32,12 +33,20 @@ class Reputation:
         weights: resolver for the recommender trust factor ``R(z, y)``.
         decay: decay function ``Υ`` applied to each opinion's age.
         unknown_prior: value returned when no third party holds an opinion.
+        source_filter: optional availability predicate ``(recommender, now)
+            -> bool``; recommenders it rejects are skipped (and do not count
+            toward the average), so reputation degrades gracefully when
+            some opinion sources are unreachable.  ``None`` keeps every
+            recommender (the default, and the paper's behaviour).
     """
 
     table: TrustTable
     weights: RecommenderWeights = field(default_factory=RecommenderWeights)
     decay: DecayFunction = field(default_factory=NoDecay)
     unknown_prior: float = 0.0
+    source_filter: Callable[[EntityId, float], bool] | None = field(
+        default=None, repr=False
+    )
     _context_decay: dict[TrustContext, DecayFunction] = field(
         default_factory=dict, repr=False
     )
@@ -76,13 +85,24 @@ class Reputation:
         for recommender, rec in self.table.recommenders(
             trustee, context, excluding=asking
         ):
+            if self.source_filter is not None and not self.source_filter(
+                recommender, now
+            ):
+                continue
             age = now - rec.last_transaction
             if age < 0:
                 raise ValueError(
                     f"now={now} precedes opinion of {recommender!r} recorded at "
                     f"{rec.last_transaction}"
                 )
-            total += rec.value * self.weights.factor(recommender, trustee) * decay(age)
+            weight = self.weights.factor(recommender, trustee)
+            if weight == 0.0:
+                # R = 0 marks a recommendation carrying no information (a
+                # purged or fully distrusted recommender); it is excluded
+                # from the average rather than averaged in as a zero — a
+                # purged badmouther must not keep dragging its target down.
+                continue
+            total += rec.value * weight * decay(age)
             count += 1
         if count == 0:
             return self.unknown_prior

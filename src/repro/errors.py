@@ -12,6 +12,10 @@ __all__ = [
     "ConfigurationError",
     "TrustModelError",
     "UnknownEntityError",
+    "TrustQueryError",
+    "TrustQueryTimeout",
+    "TrustSourceUnavailable",
+    "StaleTrustData",
     "SchedulingError",
     "NoFeasibleMachineError",
     "SimulationError",
@@ -34,6 +38,28 @@ class TrustModelError(ReproError):
 
 class UnknownEntityError(TrustModelError, KeyError):
     """A trust query referenced an entity that is not registered."""
+
+
+class TrustQueryError(TrustModelError):
+    """A trust-plane query could not produce fresh, usable data.
+
+    Base class of the typed failures raised by the resilient query path of
+    :mod:`repro.trustfaults`; callers that can degrade gracefully (the cost
+    provider's trust-unaware fallback pricing) catch this and fall back
+    instead of crashing.
+    """
+
+
+class TrustQueryTimeout(TrustQueryError):
+    """A trust query exceeded its latency budget (after retries)."""
+
+
+class TrustSourceUnavailable(TrustQueryError):
+    """A trust source is down, or its circuit breaker is open (fast-fail)."""
+
+
+class StaleTrustData(TrustQueryError):
+    """A trust source answered, but its data is older than the staleness bound."""
 
 
 class SchedulingError(ReproError):

@@ -18,6 +18,12 @@ from repro.experiments.faulttol import (
     FaultRecoveryStudy,
     run_fault_recovery,
 )
+from repro.experiments.trustfaults import (
+    TrustFaultArmOutcome,
+    TrustFaultStudy,
+    run_trustfault_study,
+    write_study_artifact,
+)
 from repro.experiments.figures import (
     Figure1,
     improvement_vs_load_series,
@@ -64,6 +70,10 @@ __all__ = [
     "FaultPolicyOutcome",
     "FaultRecoveryStudy",
     "run_fault_recovery",
+    "TrustFaultArmOutcome",
+    "TrustFaultStudy",
+    "run_trustfault_study",
+    "write_study_artifact",
     "Figure1",
     "improvement_vs_load_series",
     "reproduce_figure1",

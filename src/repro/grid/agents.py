@@ -24,12 +24,13 @@ from enum import Enum
 from repro.core.engine import TrustEngine
 from repro.core.evolution import TransactionOutcome, TrustEvolver
 from repro.core.levels import MAX_OFFERED_LEVEL, TrustLevel
+from repro.core.recommender import RecommenderWeights
 from repro.core.tables import TrustTable, value_to_level
 from repro.core.update import AlwaysPublish, SignificancePolicy
 from repro.grid.activities import ActivityType
 from repro.grid.trust_table import GridTrustTable
 
-__all__ = ["AgentSide", "DomainTrustAgent", "AgentFleet"]
+__all__ = ["AgentSide", "DomainTrustAgent", "AgentFleet", "domain_entity_id"]
 
 
 class AgentSide(Enum):
@@ -39,8 +40,17 @@ class AgentSide(Enum):
     RESOURCE_DOMAIN = "rd"
 
 
-def _entity_id(side: AgentSide, index: int) -> str:
+def domain_entity_id(side: AgentSide, index: int) -> str:
+    """Identity of a domain in the internal trust table, e.g. ``"rd:2"``.
+
+    Public so other subsystems (the adversarial recommenders of
+    :mod:`repro.trustfaults`) can address the same entities the agents use.
+    """
     return f"{side.value}:{index}"
+
+
+# Backwards-compatible private alias (internal call sites).
+_entity_id = domain_entity_id
 
 
 @dataclass
@@ -155,6 +165,7 @@ class AgentFleet:
         policy: SignificancePolicy | None = None,
         smoothing: float = 0.3,
         gamma_weights: tuple[float, float] | None = None,
+        recommender_weights: "RecommenderWeights | None" = None,
     ) -> "AgentFleet":
         """Create a fleet covering every CD and RD of ``grid_table``.
 
@@ -165,6 +176,11 @@ class AgentFleet:
             gamma_weights: optional ``(alpha, beta)``; when given, each
                 agent publishes Γ-blended levels (direct + reputation over
                 the shared internal table) instead of raw direct records.
+            recommender_weights: optional resolver for the recommender
+                trust factor ``R(z, y)`` used by the Γ engine's reputation
+                component (e.g. purging
+                :class:`~repro.trustfaults.credibility.CredibilityWeights`);
+                only meaningful together with ``gamma_weights``.
         """
         n_cd, n_rd, _ = grid_table.shape
         internal = TrustTable()
@@ -172,7 +188,12 @@ class AgentFleet:
         engine: TrustEngine | None = None
         if gamma_weights is not None:
             alpha, beta = gamma_weights
-            engine = TrustEngine.build(alpha=alpha, beta=beta, table=internal)
+            engine = TrustEngine.build(
+                alpha=alpha,
+                beta=beta,
+                table=internal,
+                weights=recommender_weights,
+            )
 
         def make(side: AgentSide, index: int) -> DomainTrustAgent:
             return DomainTrustAgent(

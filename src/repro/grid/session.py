@@ -24,6 +24,7 @@ maintain the trust values" that Section 2.2 announces as parallel work.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -31,7 +32,7 @@ from repro.errors import ConfigurationError
 from repro.faults.model import FaultModel
 from repro.faults.records import FailureEvent
 from repro.faults.retry import RetryPolicy
-from repro.grid.agents import AgentFleet
+from repro.grid.agents import AgentFleet, AgentSide, domain_entity_id
 from repro.grid.behavior import BehaviorModel
 from repro.grid.topology import Grid
 from repro.obs.metrics import MetricsRegistry
@@ -46,6 +47,9 @@ from repro.sim.rng import RngFactory
 from repro.workloads.eec import range_based_matrix
 from repro.workloads.heterogeneity import LOLO, Heterogeneity
 from repro.workloads.requests import generate_request_stream
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.trustfaults.model import TrustFaultModel
 
 __all__ = ["RoundResult", "SessionResult", "GridSession"]
 
@@ -64,6 +68,12 @@ class RoundResult:
         failures: failed execution attempts during the round (0 without
             fault injection).
         dropped: requests abandoned after retry exhaustion.
+        degraded: requests whose final pricing lacked fresh trust data and
+            fell back to trust-unaware costing (0 without trust-plane
+            faults).
+        injected_opinions: adversarial opinion records written into the
+            shared reputation table during this round (0 without integrity
+            faults).
     """
 
     index: int
@@ -74,6 +84,8 @@ class RoundResult:
     rejected: int = 0
     failures: int = 0
     dropped: int = 0
+    degraded: int = 0
+    injected_opinions: int = 0
 
 
 @dataclass(frozen=True)
@@ -122,6 +134,11 @@ class SessionResult:
         """Requests dropped after retry exhaustion over the session."""
         return sum(r.dropped for r in self.rounds)
 
+    @property
+    def total_degraded(self) -> int:
+        """Requests priced without fresh trust data over the session."""
+        return sum(r.degraded for r in self.rounds)
+
     def __len__(self) -> int:
         return len(self.rounds)
 
@@ -151,6 +168,16 @@ class GridSession:
         faults: optional fault model; each round gets a fresh injector off
             the round's random streams, so fault processes are reproducible
             per (seed, round) and independent of the workload draws.
+        trustfaults: optional trust-plane fault model
+            (:mod:`repro.trustfaults`).  Availability faults put one
+            persistent :class:`~repro.trustfaults.query.ResilientTrustSource`
+            in front of the trust table — its breaker and clock span rounds
+            — and degrade affected cost rows instead of failing; integrity
+            faults inject adversarial opinions into the shared reputation
+            table at the start of each round and, when the fleet's Γ engine
+            uses purging :class:`~repro.trustfaults.credibility.\
+CredibilityWeights`, recommenders are scored against every realised
+            outcome (completion satisfactions and failures alike).
         retry: recovery policy for failed requests; requires ``faults``.
         failure_satisfaction: the satisfaction value a failed attempt feeds
             to the observing agents — by default 0.0, a maximally
@@ -180,6 +207,7 @@ class GridSession:
     retry: RetryPolicy | None = None
     failure_satisfaction: float = 0.0
     metrics: MetricsRegistry | None = None
+    trustfaults: "TrustFaultModel | None" = None
 
     _now: float = field(default=0.0, init=False)
     _round: int = field(default=0, init=False)
@@ -208,6 +236,65 @@ class GridSession:
             raise ConfigurationError(
                 f"heuristic {self.heuristic!r} is batch-mode; set batch_interval"
             )
+        self._trust_source = None
+        self._adversaries = None
+        self._score_weights = None
+        if self.trustfaults is not None and self.trustfaults.enabled:
+            self._wire_trustfaults()
+
+    def _wire_trustfaults(self) -> None:
+        # Imported here: repro.grid must stay importable without the
+        # trustfaults package in the dependency graph of its core types.
+        from repro.trustfaults.adversary import AdversaryFleet
+        from repro.trustfaults.query import (
+            RecommenderAvailability,
+            ResilientTrustSource,
+        )
+
+        model = self.trustfaults
+        assert model is not None and self.fleet is not None
+        if model.table is not None:
+            # One source for the whole session: breaker state, refresh
+            # schedule and outage sample path persist across rounds.
+            self._trust_source = ResilientTrustSource(
+                self.grid,
+                fault=model.table,
+                config=model.query,
+                rng=self._rng.stream("trust-plane"),
+                metrics=self.metrics,
+            )
+        engine = self.fleet.cd_agents[0].engine if self.fleet.cd_agents else None
+        if model.recommenders:
+            if engine is None:
+                raise ConfigurationError(
+                    "recommender availability faults need a Γ-blended fleet "
+                    "(AgentFleet.for_table(..., gamma_weights=...)); a "
+                    "direct-only fleet never aggregates recommendations"
+                )
+            availability = RecommenderAvailability(
+                dict(model.recommenders),
+                rng=self._rng,
+                metrics=self.metrics,
+            )
+            engine.reputation.source_filter = availability.as_filter()
+        if model.integrity is not None:
+            if engine is None:
+                raise ConfigurationError(
+                    "integrity faults need a Γ-blended fleet; adversarial "
+                    "opinions only flow through the reputation component"
+                )
+            self._adversaries = AdversaryFleet(
+                model.integrity,
+                self.fleet.internal_table,
+                self.grid.catalog,
+                metrics=self.metrics,
+            )
+            # Outcome-driven credibility: every realised outcome scores all
+            # recommenders holding an opinion about that (trustee, context)
+            # against what the transaction actually revealed.  With purging
+            # CredibilityWeights this is the countermeasure; with plain
+            # RecommenderWeights it is the paper's soft down-weighting.
+            self._score_weights = engine.reputation.weights
 
     @property
     def now(self) -> float:
@@ -245,6 +332,11 @@ class GridSession:
                 round_rng.child("faults"), start=self._now
             )
             on_failure = self._score_failure(requests)
+        injected = 0
+        if self._adversaries is not None:
+            injected = self._adversaries.inject(self._now, self._round)
+        if self._trust_source is not None:
+            self._trust_source.advance(self._now)
         scheduler = TRMScheduler(
             self.grid,
             eec,
@@ -257,8 +349,10 @@ class GridSession:
             retry=self.retry if injector is not None else None,
             on_failure=on_failure,
             metrics=self.metrics,
+            trust_source=self._trust_source,
         )
         result = scheduler.run(requests)
+        degraded = len(scheduler.costs.degraded_requests)
 
         self._now = max(self._now, result.effective_makespan)
         self._round += 1
@@ -278,6 +372,8 @@ class GridSession:
             rejected=result.n_rejected,
             failures=len(result.failures),
             dropped=result.n_dropped,
+            degraded=degraded,
+            injected_opinions=injected,
         )
 
     def run(self, rounds: int, requests_per_round: int) -> SessionResult:
@@ -303,6 +399,7 @@ class GridSession:
             satisfaction = self.behavior.sample(
                 rd_index, record.completion_time, self._behavior_rng
             )
+            self._score_recommenders(cd_index, rd_index, activity, satisfaction)
             self.fleet.cd_agents[cd_index].observe_transaction(
                 rd_index, activity, satisfaction, record.completion_time
             )
@@ -327,6 +424,9 @@ class GridSession:
             activity = request.task.activities.activities[0]
             # A failed attempt is observed as a (strongly) unsatisfactory
             # transaction — no behaviour sampling, the outcome is a fact.
+            self._score_recommenders(
+                cd_index, rd_index, activity, self.failure_satisfaction
+            )
             self.fleet.cd_agents[cd_index].observe_transaction(
                 rd_index, activity, self.failure_satisfaction,
                 failure.failure_time,
@@ -335,3 +435,23 @@ class GridSession:
                 self.metrics.counter("session.gamma_evals").add()
 
         return hook
+
+    def _score_recommenders(
+        self, cd_index: int, rd_index: int, activity, actual: float
+    ) -> None:
+        """Score every opinion about the observed RD against the outcome.
+
+        Each recommender that currently claims something about the resource
+        domain (in this transaction's context) is judged by how far its
+        claim sits from what the transaction revealed — the "learned based
+        on actual outcomes" loop, which is what eventually purges
+        adversarial recommenders.
+        """
+        if self._score_weights is None:
+            return
+        trustee = domain_entity_id(AgentSide.RESOURCE_DOMAIN, rd_index)
+        observer = domain_entity_id(AgentSide.CLIENT_DOMAIN, cd_index)
+        for rec_id, rec in self.fleet.internal_table.recommenders(
+            trustee, activity.context, excluding=observer
+        ):
+            self._score_weights.observe_outcome(rec_id, rec.value, actual)

@@ -36,6 +36,7 @@ dropped.
 from __future__ import annotations
 
 from collections.abc import Callable, Sequence
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -55,6 +56,9 @@ from repro.scheduling.result import CompletionRecord, ScheduleResult
 from repro.sim.events import Event, EventPriority
 from repro.sim.kernel import Simulator
 from repro.sim.trace import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.trustfaults.query import ResilientTrustSource
 
 __all__ = ["TRMScheduler"]
 
@@ -85,6 +89,11 @@ class TRMScheduler:
             otherwise.
         on_failure: optional hook fired at each failed attempt's failure
             time (the trust-evolution entry point for failures).
+        trust_source: optional resilient trust-plane front
+            (:mod:`repro.trustfaults`).  When set, mapping-time trust
+            queries go through its guarded path, failed queries degrade the
+            affected cost rows to trust-unaware pricing, and the scheduler
+            advances the source's query clock at every mapping event.
         metrics: optional :class:`MetricsRegistry` receiving the
             scheduler's run metrics — ``sched.mappings`` / ``completions``
             / ``retries`` / ``rejections`` / ``drops`` / ``batches``
@@ -111,14 +120,22 @@ class TRMScheduler:
         retry: RetryPolicy | None = None,
         on_failure: FailureHook | None = None,
         metrics: MetricsRegistry | None = None,
+        trust_source: "ResilientTrustSource | None" = None,
     ) -> None:
         self.grid = grid
         self.policy = policy
         self.heuristic = heuristic
         self.metrics = metrics if metrics is not None else MetricsRegistry.disabled()
+        self.trust_source = trust_source
+        if (
+            trust_source is not None
+            and self.metrics.enabled
+            and not trust_source.metrics.enabled
+        ):
+            trust_source.bind_metrics(self.metrics)
         self.costs = CostProvider(
             grid=grid, eec=eec, policy=policy, constraint=constraint,
-            metrics=self.metrics,
+            metrics=self.metrics, trust_source=trust_source,
         )
         self.tracer = tracer if tracer is not None else Tracer.disabled()
         self.on_complete = on_complete
@@ -319,6 +336,8 @@ class TRMScheduler:
             # Re-price the retry: trust may have evolved since the original
             # mapping, and the failed machine is excluded (best effort —
             # relaxed if nothing finite would remain).
+            if self.trust_source is not None:
+                self.trust_source.advance(event.time)
             self.costs.invalidate_trust_cache(request.index)
             if self.retry.exclude_failed:
                 self.costs.exclude(request.index, failure.machine_index)
@@ -342,6 +361,8 @@ class TRMScheduler:
             self.tracer.emit(time, "reject", request=request.index)
 
         def dispatch(request: Request, time: float, *, retry: bool = False) -> None:
+            if self.trust_source is not None:
+                self.trust_source.advance(time)
             if retry:
                 if self.metrics.enabled:
                     self.metrics.counter("sched.retries").add()
@@ -367,6 +388,8 @@ class TRMScheduler:
             dispatch(request, event.time)
 
         def on_batch(event: Event) -> None:
+            if self.trust_source is not None:
+                self.trust_source.advance(event.time)
             if pending:
                 meta = MetaRequest.of(
                     pending, formed_at=event.time, index=batch_counter["count"]

@@ -102,3 +102,18 @@ class TestCommands:
     def test_profile_missing_scenario_errors(self, tmp_path):
         with pytest.raises(SystemExit):
             main(["profile", str(tmp_path / "nope.json")])
+
+    def test_trustfaults_study(self, tmp_path, capsys):
+        import json
+
+        artifact = tmp_path / "study.json"
+        assert main([
+            "trustfaults", "--rounds", "2", "--requests", "6",
+            "--artifact", str(artifact),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "honest" in out and "attacked" in out and "defended" in out
+        assert "reputation-error recovery" in out
+        data = json.loads(artifact.read_text())
+        assert data["schema"] == "repro.trustfaults/v1"
+        assert set(data["arms"]) == {"honest", "attacked", "defended"}

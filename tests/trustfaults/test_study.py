@@ -1,0 +1,83 @@
+"""Acceptance tests for the three-arm trust-plane resilience study."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.trustfaults import (
+    ARTIFACT_SCHEMA,
+    run_trustfault_study,
+    write_study_artifact,
+)
+
+
+@pytest.fixture(scope="module")
+def study():
+    # Reduced size for test runtime; the acceptance thresholds still hold.
+    return run_trustfault_study(seed=0, rounds=6, requests_per_round=20)
+
+
+class TestAcceptance:
+    def test_attack_inflates_reputation_error(self, study):
+        assert study.reputation_error(study.honest) == 0.0
+        assert study.reputation_error(study.attacked) > 0.05
+
+    def test_purging_recovers_half_the_reputation_error(self, study):
+        assert study.error_recovery >= 0.5
+
+    def test_purging_recovers_half_the_makespan_gap(self, study):
+        assert study.makespan_gap > 0
+        assert study.makespan_recovery >= 0.5
+
+    def test_only_adversaries_are_purged(self, study):
+        assert study.honest.purged == ()
+        assert study.attacked.purged == ()  # purging disabled in that arm
+        assert len(study.defended.purged) == 8
+        assert all(p.startswith("adv:") for p in study.defended.purged)
+
+    def test_attack_pressure_is_identical_across_attacked_arms(self, study):
+        assert study.honest.injected_opinions == 0
+        assert study.attacked.injected_opinions > 0
+        assert (
+            study.attacked.injected_opinions
+            == study.defended.injected_opinions
+        )
+
+    def test_gamma_surface_shape_and_bounds(self, study):
+        for arm in (study.honest, study.attacked, study.defended):
+            assert arm.gamma.shape == (2, 3, arm.gamma.shape[2])
+            assert np.all((arm.gamma >= 0.0) & (arm.gamma <= 1.0))
+
+
+class TestArtifact:
+    def test_dict_schema(self, study):
+        data = study.to_dict()
+        assert data["schema"] == ARTIFACT_SCHEMA == "repro.trustfaults/v1"
+        assert set(data["arms"]) == {"honest", "attacked", "defended"}
+        for arm in data["arms"].values():
+            assert {
+                "completed", "failures", "dropped", "degraded",
+                "injected_opinions", "purged", "makespan", "goodput",
+                "mean_flow_time", "reputation_error",
+            } <= set(arm)
+        assert {"reputation_error", "makespan", "makespan_gap"} <= set(
+            data["recovery"]
+        )
+
+    def test_write_artifact_round_trips(self, study, tmp_path):
+        path = write_study_artifact(study, tmp_path / "out" / "study.json")
+        loaded = json.loads(path.read_text())
+        assert loaded == study.to_dict()
+        assert loaded["recovery"]["reputation_error"] >= 0.5
+
+
+class TestValidation:
+    def test_rounds_validated(self):
+        with pytest.raises(ConfigurationError):
+            run_trustfault_study(rounds=0)
+
+    def test_target_rd_validated(self):
+        with pytest.raises(ConfigurationError):
+            run_trustfault_study(target_rd=7)
