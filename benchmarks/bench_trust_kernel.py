@@ -1,0 +1,70 @@
+"""Scaling bench — trust-kernel perf trajectory (``BENCH_trust.json``).
+
+Sweeps the batched Γ kernel (:meth:`TrustEngine.gamma_matrix`) against the
+scalar :meth:`TrustEngine.gamma` double loop over growing entity
+populations whose opinions follow the Table-6 OTL distribution, and
+records per-row wall times plus the speedup as a machine-readable JSON
+artifact at the repository root.  The sweep itself lives in
+:mod:`repro.experiments.trustbench` so ``repro-trms bench trust``
+regenerates the same artifact in one command.
+
+Two entry points:
+
+* ``test_trust_kernel_smoke`` — CI guard: runs the smallest size only and
+  fails if the batched kernel falls behind the scalar reference by more
+  than 1.5x (it should win by orders of magnitude; the slack absorbs
+  CI-runner noise).  Bit-identity of the sampled rows is asserted inside
+  the sweep.
+* ``test_trust_kernel_full_sweep`` — the real sweep; opt-in via
+  ``BENCH_TRUST_FULL=1``.  Writes ``BENCH_trust.json``.
+
+The scalar reference walks the whole trust table per Γ call (cubic over a
+full surface), so it is timed on ``REFERENCE_ROWS`` truster rows and the
+comparison is per-row; see the trustbench module docstring.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.experiments.trustbench import (
+    DEFAULT_ARTIFACT,
+    SIZES,
+    SMOKE_SLOWDOWN_LIMIT,
+    render_sweep,
+    run_sweep,
+    validate_trust_payload,
+    write_artifact,
+)
+
+ARTIFACT = DEFAULT_ARTIFACT
+
+
+def test_trust_kernel_smoke():
+    payload = run_sweep(sizes=SIZES[:1], repeats=1)
+    validate_trust_payload(payload)
+    for entry in payload["results"]:
+        assert entry["speedup"] >= 1.0 / SMOKE_SLOWDOWN_LIMIT, (
+            f"batched Γ kernel fell behind the scalar reference "
+            f"({entry['speedup']:.2f}x) at n_entities={entry['n_entities']}"
+        )
+
+
+def test_artifact_matches_schema():
+    """The committed perf trajectory must stay machine-readable."""
+    if not ARTIFACT.exists():
+        pytest.skip(f"{ARTIFACT.name} not generated yet")
+    validate_trust_payload(json.loads(ARTIFACT.read_text(encoding="utf-8")))
+
+
+@pytest.mark.skipif(
+    os.environ.get("BENCH_TRUST_FULL") != "1",
+    reason="full sweep is opt-in: BENCH_TRUST_FULL=1",
+)
+def test_trust_kernel_full_sweep():
+    payload = run_sweep(SIZES)
+    path = write_artifact(payload)
+    print(f"perf trajectory written to {path}\n{render_sweep(payload)}")

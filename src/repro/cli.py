@@ -11,6 +11,11 @@ Subcommands::
     repro-trms faults               # fault-injection resilience comparison
     repro-trms trustfaults          # adversarial recommenders vs purging
     repro-trms profile paper        # instrumented run: manifest + traces
+    repro-trms bench trust          # regenerate the trust-kernel perf artifact
+
+Experiment subcommands accept ``--workers N`` to spread independent
+replications or study arms over a process pool (default: every core);
+parallel runs are bit-identical to sequential ones.
 """
 
 from __future__ import annotations
@@ -40,10 +45,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="paired runs per cell for scheduling tables (default 10)",
     )
     p_table.add_argument("--seed", type=int, default=0, help="base seed")
+    p_table.add_argument(
+        "--workers", type=int, default=None,
+        help="replication-pool width for scheduling tables (default: every core)",
+    )
 
     p_tables = sub.add_parser("tables", help="regenerate every paper table")
     p_tables.add_argument("--replications", type=int, default=10)
     p_tables.add_argument("--seed", type=int, default=0)
+    p_tables.add_argument("--workers", type=int, default=None)
 
     sub.add_parser("sfi", help="Section-5.1 SFI sandboxing overheads")
     sub.add_parser("figure1", help="Figure-1 architecture diagram")
@@ -68,12 +78,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--output", default="reproduction_report.md")
     p_report.add_argument("--replications", type=int, default=10)
     p_report.add_argument("--seed", type=int, default=0)
+    p_report.add_argument("--workers", type=int, default=None)
 
     p_fam = sub.add_parser(
         "families", help="trust gains across the full heuristic family"
     )
     p_fam.add_argument("--replications", type=int, default=8)
     p_fam.add_argument("--tasks", type=int, default=50)
+    p_fam.add_argument("--workers", type=int, default=None)
 
     p_abl = sub.add_parser(
         "ablations", help="ablate the reproduction-critical design choices"
@@ -106,6 +118,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-attempts", type=int, default=3,
         help="execution attempts before a request is dropped (default 3)",
     )
+    p_faults.add_argument(
+        "--workers", type=int, default=None,
+        help="run the policy arms in parallel processes (default: every core)",
+    )
 
     p_tf = sub.add_parser(
         "trustfaults",
@@ -131,6 +147,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--artifact", default=None,
         help="also write the machine-readable study JSON to this path",
     )
+    p_tf.add_argument(
+        "--workers", type=int, default=None,
+        help="run the study arms in parallel processes (default: every core)",
+    )
+
+    p_bench = sub.add_parser(
+        "bench", help="regenerate a perf-trajectory artifact (JSON)"
+    )
+    p_bench.add_argument("target", choices=["trust"])
+    p_bench.add_argument(
+        "--output", default=None,
+        help="artifact path (default: BENCH_trust.json at the repo root)",
+    )
+    p_bench.add_argument("--repeats", type=int, default=3)
 
     p_val = sub.add_parser(
         "validate", help="run the codified acceptance checks of DESIGN.md"
@@ -196,7 +226,9 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_table(number: int, replications: int, seed: int) -> str:
+def _cmd_table(
+    number: int, replications: int, seed: int, workers: int | None = None
+) -> str:
     from repro.experiments import (
         reproduce_scheduling_table,
         reproduce_table1,
@@ -211,7 +243,7 @@ def _cmd_table(number: int, replications: int, seed: int) -> str:
     if number == 3:
         return reproduce_table3().rendering
     return reproduce_scheduling_table(
-        number, replications=replications, base_seed=seed
+        number, replications=replications, base_seed=seed, workers=workers
     ).rendering
 
 
@@ -260,10 +292,10 @@ def main(argv: Sequence[str] | None = None) -> int:
 def _dispatch(args) -> int:
     """Execute the parsed subcommand."""
     if args.command == "table":
-        print(_cmd_table(args.number, args.replications, args.seed))
+        print(_cmd_table(args.number, args.replications, args.seed, args.workers))
     elif args.command == "tables":
         for number in range(1, 10):
-            print(_cmd_table(number, args.replications, args.seed))
+            print(_cmd_table(number, args.replications, args.seed, args.workers))
             print()
     elif args.command == "sfi":
         from repro.experiments import reproduce_sfi_overheads
@@ -288,11 +320,12 @@ def _dispatch(args) -> int:
         from repro.experiments import write_report
 
         path = write_report(
-            args.output, replications=args.replications, base_seed=args.seed
+            args.output, replications=args.replications, base_seed=args.seed,
+            workers=args.workers,
         )
         print(f"report written to {path}")
     elif args.command == "families":
-        print(_cmd_families(args.replications, args.tasks))
+        print(_cmd_families(args.replications, args.tasks, args.workers))
     elif args.command == "ablations":
         print(_cmd_ablations(args.replications))
     elif args.command == "session":
@@ -301,7 +334,7 @@ def _dispatch(args) -> int:
         print(
             _cmd_faults(
                 args.rounds, args.requests, args.seed, args.heuristic,
-                args.crash_prob, args.mtbf, args.max_attempts,
+                args.crash_prob, args.mtbf, args.max_attempts, args.workers,
             )
         )
     elif args.command == "trustfaults":
@@ -309,9 +342,11 @@ def _dispatch(args) -> int:
             _cmd_trustfaults(
                 args.rounds, args.requests, args.seed, args.heuristic,
                 args.target_rd, args.recommenders, args.purge_threshold,
-                args.artifact,
+                args.artifact, args.workers,
             )
         )
+    elif args.command == "bench":
+        print(_cmd_bench(args.target, args.output, args.repeats))
     elif args.command == "validate":
         from repro.experiments import validate_reproduction
 
@@ -450,9 +485,9 @@ def _cmd_profile(
     return "\n".join(lines)
 
 
-def _cmd_families(replications: int, tasks: int) -> str:
+def _cmd_families(replications: int, tasks: int, workers: int | None = None) -> str:
     from repro.experiments import PAPER_BATCH_INTERVAL, paper_policies, paper_spec
-    from repro.experiments.runner import run_paired_cell
+    from repro.experiments.parallel import run_paired_cell_parallel
     from repro.metrics import Table, format_percent, format_seconds
     from repro.scheduling import heuristic_names, is_batch
     from repro.workloads import Consistency
@@ -464,9 +499,10 @@ def _cmd_families(replications: int, tasks: int) -> str:
         title=f"Trust gains, inconsistent LoLo, {tasks} tasks:",
     )
     for name in heuristic_names():
-        cell = run_paired_cell(
+        cell = run_paired_cell_parallel(
             spec, name, aware, unaware,
             replications=replications, batch_interval=PAPER_BATCH_INTERVAL,
+            workers=workers,
         )
         table.add_row(
             name,
@@ -511,6 +547,7 @@ def _cmd_faults(
     crash_prob: float,
     mtbf: float | None,
     max_attempts: int,
+    workers: int | None = None,
 ) -> str:
     from repro.experiments import PAPER_BATCH_INTERVAL, run_fault_recovery
     from repro.faults import RetryPolicy
@@ -526,6 +563,7 @@ def _cmd_faults(
         flaky_crash_prob=crash_prob,
         mtbf=mtbf,
         retry=RetryPolicy(max_attempts=max_attempts),
+        workers=workers,
     )
     table = Table(
         headers=[
@@ -564,6 +602,7 @@ def _cmd_trustfaults(
     recommenders: int,
     purge_threshold: float,
     artifact: str | None,
+    workers: int | None = None,
 ) -> str:
     from repro.experiments import (
         PAPER_BATCH_INTERVAL,
@@ -582,6 +621,7 @@ def _cmd_trustfaults(
         target_rd=target_rd,
         n_recommenders=recommenders,
         purge_threshold=purge_threshold,
+        workers=workers,
     )
     table = Table(
         headers=[
@@ -613,6 +653,20 @@ def _cmd_trustfaults(
         path = write_study_artifact(study, artifact)
         lines += ["", f"artifact written to {path}"]
     return "\n".join(lines)
+
+
+def _cmd_bench(target: str, output: str | None, repeats: int) -> str:
+    from repro.experiments.trustbench import (
+        DEFAULT_ARTIFACT,
+        render_sweep,
+        run_sweep,
+        write_artifact,
+    )
+
+    assert target == "trust"  # argparse choices guard
+    payload = run_sweep(repeats=repeats)
+    path = write_artifact(payload, output if output is not None else DEFAULT_ARTIFACT)
+    return "\n".join([render_sweep(payload), "", f"perf trajectory written to {path}"])
 
 
 def _cmd_session(rounds: int, requests: int, seed: int) -> str:

@@ -14,6 +14,7 @@ from repro.core.context import (
     STORAGE,
     TrustContext,
 )
+from repro.core.columnar import ColumnarOpinionStore, OpinionBlock
 from repro.core.decay import (
     DecayFunction,
     ExponentialDecay,
@@ -62,6 +63,8 @@ __all__ = [
     "PRINTING",
     "DISPLAY",
     "DEFAULT_CONTEXTS",
+    "ColumnarOpinionStore",
+    "OpinionBlock",
     "DecayFunction",
     "NoDecay",
     "ExponentialDecay",

@@ -1,0 +1,286 @@
+"""Columnar mirror of :class:`~repro.core.tables.TrustTable`.
+
+The Section-2 reputation average
+
+    ``Ω(y, t, c) = Σ_z RTT(z, y, c) × R(z, y) × Υ(t - t_zy, c) / |{z}|``
+
+is a masked, weighted segment-reduce: gather every opinion about the
+requested trustees in one context, weight it, decay it, and sum per
+trustee.  The scalar :meth:`~repro.core.reputation.Reputation.evaluate`
+walks a Python dict per query; at fleet scale (Γ-surface validation,
+per-completion evolution) that walk dominates the run.  This module keeps
+a *columnar* mirror of the trust table — parallel NumPy arrays of
+(recommender-index, trustee-index, context-index, value, last-transaction)
+plus a dense recommender-factor matrix — so the batched evaluators
+(:meth:`Reputation.evaluate_many`, :meth:`TrustEngine.gamma_matrix`) can
+execute the reduce as a handful of vector operations.
+
+Bit-identity with the scalar path is a hard invariant, maintained by three
+properties of the layout:
+
+* rows are materialised in the table's **insertion order**, and
+  ``np.bincount`` accumulates its per-segment sums sequentially in array
+  order — exactly the order the scalar loop adds contributions;
+* the per-opinion product ``value * factor * decay`` is formed with the
+  same association the scalar loop uses;
+* decay multipliers come from the same :meth:`DecayFunction.apply`
+  vectorised hook the scalar ``__call__`` routes through.
+
+The mirror is **epoch-versioned**: it records the source table's (and
+weight resolver's) mutation epochs at build time and rebuilds itself
+wholesale on :meth:`refresh` when either bumped — evolution updates,
+adversary injections and credibility purges all invalidate it without any
+fine-grained bookkeeping.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.context import TrustContext
+from repro.core.recommender import RecommenderWeights
+from repro.core.tables import EntityId, TrustTable
+
+__all__ = ["ColumnarOpinionStore", "OpinionBlock"]
+
+
+@dataclass(frozen=True, slots=True)
+class OpinionBlock:
+    """Opinions about a set of requested trustees in one context.
+
+    Rows preserve the trust table's insertion order.  ``pos[i]`` maps
+    opinion ``i`` to the index of its trustee in the *requested* list, so
+    a segment-reduce over ``pos`` yields one aggregate per request.
+
+    Attributes:
+        truster: interned entity index of each opinion's holder.
+        trustee: interned entity index of each opinion's target.
+        pos: index into the requested trustee list for each opinion.
+        values: stored trust values ``RTT(z, y, c)``.
+        times: last-transaction timestamps ``t_zy``.
+    """
+
+    truster: np.ndarray
+    trustee: np.ndarray
+    pos: np.ndarray
+    values: np.ndarray
+    times: np.ndarray
+
+
+class _ContextView:
+    """Per-context column slices plus a sorted pair index for DTT lookups."""
+
+    __slots__ = ("truster", "trustee", "values", "times", "_pair_keys", "_pair_order")
+
+    def __init__(
+        self,
+        truster: np.ndarray,
+        trustee: np.ndarray,
+        values: np.ndarray,
+        times: np.ndarray,
+    ) -> None:
+        self.truster = truster
+        self.trustee = trustee
+        self.values = values
+        self.times = times
+        self._pair_keys: np.ndarray | None = None
+        self._pair_order: np.ndarray | None = None
+
+    def pair_index(self, n_entities: int) -> tuple[np.ndarray, np.ndarray]:
+        """Sorted ``truster * n + trustee`` keys and their argsort order."""
+        if self._pair_keys is None:
+            keys = self.truster * np.int64(n_entities) + self.trustee
+            order = np.argsort(keys, kind="stable")
+            self._pair_keys = keys[order]
+            self._pair_order = order
+        return self._pair_keys, self._pair_order
+
+
+class ColumnarOpinionStore:
+    """Array mirror of a :class:`TrustTable`, rebuilt on epoch change.
+
+    Attributes:
+        table: the mirrored trust table.
+        weights: optional recommender-factor resolver; when present its
+            epoch participates in invalidation and :meth:`factor_matrix`
+            provides the dense ``R(z, y)`` gather source.
+    """
+
+    def __init__(self, table: TrustTable, weights: RecommenderWeights | None = None):
+        self.table = table
+        self.weights = weights
+        self._built_epoch: tuple | None = None
+        self._entities: list[EntityId] = []
+        self._entity_index: dict[EntityId, int] = {}
+        self._context_index: dict[TrustContext, int] = {}
+        self._views: dict[int, _ContextView] = {}
+        self._factor: np.ndarray | None = None
+        self.truster_idx = np.empty(0, dtype=np.int64)
+        self.trustee_idx = np.empty(0, dtype=np.int64)
+        self.context_idx = np.empty(0, dtype=np.int64)
+        self.values = np.empty(0, dtype=np.float64)
+        self.times = np.empty(0, dtype=np.float64)
+
+    @property
+    def epoch(self) -> tuple:
+        """Combined version token of the table and (if any) the weights."""
+        weights_epoch = self.weights.epoch if self.weights is not None else None
+        return (self.table.epoch, weights_epoch)
+
+    @property
+    def n_entities(self) -> int:
+        """Number of interned entities (after :meth:`refresh`)."""
+        return len(self._entities)
+
+    def entity_index_of(self, entity: EntityId) -> int | None:
+        """Interned index of ``entity``, or ``None`` if it holds no records."""
+        return self._entity_index.get(entity)
+
+    def refresh(self) -> bool:
+        """Rebuild the columns if the source epoch moved; returns whether it did."""
+        epoch = self.epoch
+        if epoch == self._built_epoch:
+            return False
+        entities: list[EntityId] = []
+        entity_index: dict[EntityId, int] = {}
+        context_index: dict[TrustContext, int] = {}
+
+        def intern(entity: EntityId) -> int:
+            idx = entity_index.get(entity)
+            if idx is None:
+                idx = len(entities)
+                entity_index[entity] = idx
+                entities.append(entity)
+            return idx
+
+        n = len(self.table)
+        truster = np.empty(n, dtype=np.int64)
+        trustee = np.empty(n, dtype=np.int64)
+        context = np.empty(n, dtype=np.int64)
+        values = np.empty(n, dtype=np.float64)
+        times = np.empty(n, dtype=np.float64)
+        for i, ((z, y, c), rec) in enumerate(self.table.items()):
+            truster[i] = intern(z)
+            trustee[i] = intern(y)
+            ci = context_index.get(c)
+            if ci is None:
+                ci = len(context_index)
+                context_index[c] = ci
+            context[i] = ci
+            values[i] = rec.value
+            times[i] = rec.last_transaction
+        self._entities = entities
+        self._entity_index = entity_index
+        self._context_index = context_index
+        self.truster_idx = truster
+        self.trustee_idx = trustee
+        self.context_idx = context
+        self.values = values
+        self.times = times
+        self._views = {}
+        self._factor = None
+        self._built_epoch = epoch
+        return True
+
+    def _view(self, context_id: int) -> _ContextView:
+        view = self._views.get(context_id)
+        if view is None:
+            rows = np.nonzero(self.context_idx == context_id)[0]
+            view = _ContextView(
+                truster=self.truster_idx[rows],
+                trustee=self.trustee_idx[rows],
+                values=self.values[rows],
+                times=self.times[rows],
+            )
+            self._views[context_id] = view
+        return view
+
+    def factor_matrix(self) -> np.ndarray:
+        """Dense ``F[z, y] = weights.factor(entities[z], entities[y])``.
+
+        Requires the store to have been built with ``weights``.
+        """
+        if self.weights is None:
+            raise ValueError("store was built without recommender weights")
+        if self._factor is None:
+            self._factor = self.weights.factor_matrix(self._entities)
+        return self._factor
+
+    def opinion_block(
+        self, trustees: Sequence[EntityId], context: TrustContext
+    ) -> OpinionBlock | None:
+        """Gather every opinion about the given (distinct) trustees in ``context``.
+
+        Returns ``None`` when no requested trustee has any opinion in the
+        context.  Call :meth:`refresh` first; ``trustees`` must not contain
+        duplicates (dedup at the call site and scatter back).
+        """
+        context_id = self._context_index.get(context)
+        if context_id is None:
+            return None
+        view = self._view(context_id)
+        pos_map = np.full(len(self._entities), -1, dtype=np.int64)
+        any_known = False
+        for j, trustee in enumerate(trustees):
+            idx = self._entity_index.get(trustee)
+            if idx is not None:
+                pos_map[idx] = j
+                any_known = True
+        if not any_known or len(view.trustee) == 0:
+            return None
+        pos = pos_map[view.trustee]
+        sel = pos >= 0
+        if not sel.any():
+            return None
+        return OpinionBlock(
+            truster=view.truster[sel],
+            trustee=view.trustee[sel],
+            pos=pos[sel],
+            values=view.values[sel],
+            times=view.times[sel],
+        )
+
+    def pair_block(
+        self,
+        trusters: Sequence[EntityId],
+        trustees: Sequence[EntityId],
+        context: TrustContext,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Direct-trust gather: ``(values, times, found)`` for every pair.
+
+        All three arrays have shape ``(len(trusters), len(trustees))``;
+        entries with ``found == False`` carry no record (the DTT
+        unknown-prior case).  Call :meth:`refresh` first.
+        """
+        n_x, n_y = len(trusters), len(trustees)
+        values = np.zeros((n_x, n_y), dtype=np.float64)
+        times = np.zeros((n_x, n_y), dtype=np.float64)
+        found = np.zeros((n_x, n_y), dtype=bool)
+        context_id = self._context_index.get(context)
+        if context_id is None or n_x == 0 or n_y == 0:
+            return values, times, found
+        view = self._view(context_id)
+        if len(view.trustee) == 0:
+            return values, times, found
+        n = len(self._entities)
+        xid = np.array(
+            [self._entity_index.get(x, -1) for x in trusters], dtype=np.int64
+        )
+        yid = np.array(
+            [self._entity_index.get(y, -1) for y in trustees], dtype=np.int64
+        )
+        known = (xid[:, None] >= 0) & (yid[None, :] >= 0)
+        # Unknown entities get key -1, which cannot match (real keys are >= 0).
+        keys = np.where(known, xid[:, None] * np.int64(n) + yid[None, :], -1)
+        sorted_keys, order = view.pair_index(n)
+        pos = np.searchsorted(sorted_keys, keys)
+        pos_clipped = np.minimum(pos, len(sorted_keys) - 1)
+        hit = (pos < len(sorted_keys)) & (sorted_keys[pos_clipped] == keys)
+        rows = order[pos_clipped[hit]]
+        values[hit] = view.values[rows]
+        times[hit] = view.times[rows]
+        found = hit
+        return values, times, found

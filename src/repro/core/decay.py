@@ -34,24 +34,30 @@ __all__ = [
 
 
 class DecayFunction(ABC):
-    """Protocol for trust decay: callable age -> multiplier in ``[0, 1]``."""
+    """Protocol for trust decay: callable age -> multiplier in ``[0, 1]``.
 
-    @abstractmethod
+    The vectorised :meth:`apply` is the single source of truth; the scalar
+    ``__call__`` routes through it on a one-element array so the two paths
+    cannot drift (``math.exp`` and ``np.exp`` differ in the last ulp, which
+    would break bit-identity between scalar and batched trust evaluation).
+    """
+
     def __call__(self, age: float) -> float:
         """Return the decay multiplier for information ``age`` time units old.
 
         Raises:
             ValueError: if ``age`` is negative (information from the future).
         """
+        age = self._check_age(age)
+        return float(self.apply(np.asarray([age], dtype=np.float64))[0])
 
+    @abstractmethod
     def apply(self, ages: np.ndarray) -> np.ndarray:
         """Vectorised decay over an array of ages.
 
-        The default implementation loops; subclasses override with closed
-        forms when a vectorised expression exists.
+        Raises:
+            ValueError: if any age is negative.
         """
-        ages = np.asarray(ages, dtype=np.float64)
-        return np.vectorize(self.__call__, otypes=[np.float64])(ages)
 
     @staticmethod
     def _check_age(age: float) -> float:
@@ -63,10 +69,6 @@ class DecayFunction(ABC):
 @dataclass(frozen=True, slots=True)
 class NoDecay(DecayFunction):
     """Identity decay: trust never ages (useful as a control in ablations)."""
-
-    def __call__(self, age: float) -> float:
-        self._check_age(age)
-        return 1.0
 
     def apply(self, ages: np.ndarray) -> np.ndarray:
         ages = np.asarray(ages, dtype=np.float64)
@@ -93,10 +95,6 @@ class ExponentialDecay(DecayFunction):
         if not 0.0 <= self.floor <= 1.0:
             raise ValueError("floor must lie in [0, 1]")
 
-    def __call__(self, age: float) -> float:
-        age = self._check_age(age)
-        return self.floor + (1.0 - self.floor) * math.exp(-self.rate * age)
-
     def apply(self, ages: np.ndarray) -> np.ndarray:
         ages = np.asarray(ages, dtype=np.float64)
         if np.any(ages < 0):
@@ -122,11 +120,6 @@ class LinearDecay(DecayFunction):
         if not 0.0 <= self.floor <= 1.0:
             raise ValueError("floor must lie in [0, 1]")
 
-    def __call__(self, age: float) -> float:
-        age = self._check_age(age)
-        frac = min(age / self.horizon, 1.0)
-        return 1.0 - (1.0 - self.floor) * frac
-
     def apply(self, ages: np.ndarray) -> np.ndarray:
         ages = np.asarray(ages, dtype=np.float64)
         if np.any(ages < 0):
@@ -150,10 +143,6 @@ class StepDecay(DecayFunction):
             raise ValueError("fresh_for must be non-negative")
         if not 0.0 <= self.stale_value <= 1.0:
             raise ValueError("stale_value must lie in [0, 1]")
-
-    def __call__(self, age: float) -> float:
-        age = self._check_age(age)
-        return 1.0 if age <= self.fresh_for else self.stale_value
 
     def apply(self, ages: np.ndarray) -> np.ndarray:
         ages = np.asarray(ages, dtype=np.float64)

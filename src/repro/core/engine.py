@@ -12,8 +12,13 @@ direct relationship with x than the reputation of y, α will be larger than
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
+import numpy as np
+
+from repro.core.columnar import ColumnarOpinionStore
 from repro.core.context import TrustContext
 from repro.core.decay import DecayFunction, NoDecay
 from repro.core.direct import DirectTrust
@@ -21,6 +26,9 @@ from repro.core.levels import TrustLevel
 from repro.core.recommender import RecommenderWeights
 from repro.core.reputation import Reputation
 from repro.core.tables import EntityId, TrustTable, value_to_level
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["TrustEngine"]
 
@@ -41,6 +49,16 @@ class TrustEngine:
     reputation: Reputation
     alpha: float = 0.7
     beta: float = 0.3
+    _dstore: ColumnarOpinionStore | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _metrics: "MetricsRegistry | None" = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _memo: dict = field(default_factory=dict, init=False, repr=False, compare=False)
+    _memo_version: tuple | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.alpha < 0 or self.beta < 0:
@@ -81,6 +99,26 @@ class TrustEngine:
         """The direct-trust table backing this engine."""
         return self.direct.table
 
+    def bind_metrics(self, registry: "MetricsRegistry") -> None:
+        """Attach a metrics registry recording trust-kernel instrumentation.
+
+        Feeds the ``trust.batch_rows`` / ``trust.memo_hits`` /
+        ``trust.memo_invalidations`` counters and the
+        ``trust.gamma_latency_s.kernel=scalar|batched`` histograms.
+        Instrumentation never changes a trust value.
+        """
+        self._metrics = registry
+
+    def clear_memo(self) -> None:
+        """Drop every memoised Γ row.
+
+        The memo already invalidates itself wholesale on any table / weights
+        epoch change; benchmarks clear it explicitly between repeats so the
+        timings measure the batched kernel rather than the cache.
+        """
+        self._memo.clear()
+        self._memo_version = None
+
     def gamma(
         self, truster: EntityId, trustee: EntityId, context: TrustContext, now: float
     ) -> float:
@@ -88,9 +126,202 @@ class TrustEngine:
 
         Returns a value in ``[0, 1]``.
         """
+        metrics = self._metrics
+        if metrics is not None and metrics.enabled:
+            with metrics.timer("trust.gamma_latency_s.kernel=scalar"):
+                return self._gamma_unmetered(truster, trustee, context, now)
+        return self._gamma_unmetered(truster, trustee, context, now)
+
+    def _gamma_unmetered(
+        self, truster: EntityId, trustee: EntityId, context: TrustContext, now: float
+    ) -> float:
         theta = self.direct.evaluate(truster, trustee, context, now)
         omega = self.reputation.evaluate(trustee, context, now, asking=truster)
         return self.alpha * theta + self.beta * omega
+
+    def gamma_matrix(
+        self,
+        trusters: Sequence[EntityId],
+        trustees: Sequence[EntityId],
+        context: TrustContext,
+        now: float,
+    ) -> np.ndarray:
+        """Batched ``Γ``: ``out[i, j] = gamma(trusters[i], trustees[j], ...)``.
+
+        Bit-identical to the scalar :meth:`gamma` per pair.  Θ is gathered
+        from the columnar DTT mirror in one shot; Ω shares a single
+        opinion gather across all trusters, applying each truster's
+        own-opinion exclusion as a mask over the common contribution
+        array.  Computed rows are memoised keyed by
+        ``(truster, trustees, context, now)`` and invalidated wholesale
+        whenever any underlying epoch (trust table, recommender weights,
+        alliances) or engine parameter changes.
+
+        Falls back to scalar evaluation per pair — never touching the
+        memo — when a ``source_filter`` is installed on the reputation
+        component (degraded trust sources are stateful per query), and to
+        surface the exact scalar ``ValueError`` for future-dated records.
+        """
+        metrics = self._metrics
+        if metrics is not None and metrics.enabled:
+            with metrics.timer("trust.gamma_latency_s.kernel=batched"):
+                return self._gamma_matrix_impl(trusters, trustees, context, now, metrics)
+        return self._gamma_matrix_impl(trusters, trustees, context, now, None)
+
+    def _gamma_matrix_impl(
+        self,
+        trusters: Sequence[EntityId],
+        trustees: Sequence[EntityId],
+        context: TrustContext,
+        now: float,
+        metrics: "MetricsRegistry | None",
+    ) -> np.ndarray:
+        truster_list = list(trusters)
+        trustee_list = list(trustees)
+        n_x, n_y = len(truster_list), len(trustee_list)
+        out = np.empty((n_x, n_y), dtype=np.float64)
+        if n_x == 0 or n_y == 0:
+            return out
+        if self.reputation.source_filter is not None:
+            # Degraded / filtered sources: the availability predicate is
+            # stateful and per-query, so rows are computed scalar and
+            # never memoised (recovery must re-price exactly).
+            for i, truster in enumerate(truster_list):
+                for j, trustee in enumerate(trustee_list):
+                    out[i, j] = self._gamma_unmetered(truster, trustee, context, now)
+            return out
+        store = self.reputation.columnar_store()
+        store.refresh()
+        if self.direct.table is self.reputation.table:
+            dstore = store
+        else:
+            dstore = self._direct_store()
+            dstore.refresh()
+        rep_decay = self.reputation.decay_for(context)
+        dir_decay = self.direct.decay_for(context)
+        version = (
+            store.epoch,
+            None if dstore is store else dstore.epoch,
+            self.alpha,
+            self.beta,
+            self.direct.unknown_prior,
+            self.reputation.unknown_prior,
+            id(rep_decay),
+            id(dir_decay),
+        )
+        if version != self._memo_version:
+            if self._memo:
+                self._memo.clear()
+                if metrics is not None:
+                    metrics.counter("trust.memo_invalidations").add()
+            self._memo_version = version
+        suffix = (tuple(trustee_list), context, now)
+        missing: list[EntityId] = []
+        missing_rows: list[int] = []
+        for i, truster in enumerate(truster_list):
+            row = self._memo.get((truster, *suffix))
+            if row is None:
+                missing.append(truster)
+                missing_rows.append(i)
+            else:
+                out[i] = row
+        hits = n_x - len(missing)
+        if metrics is not None and hits:
+            metrics.counter("trust.memo_hits").add(hits)
+        if missing:
+            rows = self._gamma_rows(
+                missing, trustee_list, context, now, store, dstore, rep_decay, dir_decay
+            )
+            if rows is None:
+                # A contributing record is future-dated: replay the scalar
+                # loops, which raise the exact error for the first offender.
+                for i, truster in enumerate(truster_list):
+                    for j, trustee in enumerate(trustee_list):
+                        out[i, j] = self._gamma_unmetered(truster, trustee, context, now)
+                return out
+            for truster, i, row in zip(missing, missing_rows, rows):
+                row.setflags(write=False)
+                self._memo[(truster, *suffix)] = row
+                out[i] = row
+            if metrics is not None:
+                metrics.counter("trust.batch_rows").add(len(missing))
+        return out
+
+    def _direct_store(self) -> ColumnarOpinionStore:
+        store = self._dstore
+        if store is None or store.table is not self.direct.table:
+            store = ColumnarOpinionStore(self.direct.table)
+            self._dstore = store
+        return store
+
+    def _gamma_rows(
+        self,
+        trusters: list[EntityId],
+        trustees: list[EntityId],
+        context: TrustContext,
+        now: float,
+        store: ColumnarOpinionStore,
+        dstore: ColumnarOpinionStore,
+        rep_decay: DecayFunction,
+        dir_decay: DecayFunction,
+    ) -> list[np.ndarray] | None:
+        """Compute fresh Γ rows; ``None`` signals a future-dated record."""
+        n_x, n_y = len(trusters), len(trustees)
+        # Θ: one sorted-key gather over the DTT mirror.
+        direct_values, direct_times, found = dstore.pair_block(
+            trusters, trustees, context
+        )
+        direct_ages = now - direct_times
+        if bool(np.any(found & (direct_ages < 0))):
+            return None
+        theta = np.full((n_x, n_y), float(self.direct.unknown_prior), dtype=np.float64)
+        if found.any():
+            theta[found] = direct_values[found] * dir_decay.apply(direct_ages[found])
+        # Ω: one opinion gather shared by every truster row.
+        unique_index: dict[EntityId, int] = {}
+        unique: list[EntityId] = []
+        inverse = np.empty(n_y, dtype=np.int64)
+        for j, trustee in enumerate(trustees):
+            k = unique_index.get(trustee)
+            if k is None:
+                k = len(unique)
+                unique_index[trustee] = k
+                unique.append(trustee)
+            inverse[j] = k
+        prior = float(self.reputation.unknown_prior)
+        omega = np.full((n_x, len(unique)), prior, dtype=np.float64)
+        block = store.opinion_block(unique, context)
+        if block is not None:
+            ages = now - block.times
+            negative = ages < 0
+            weights = store.factor_matrix()[block.truster, block.trustee]
+            nonzero = weights != 0.0
+            contrib = np.zeros_like(ages)
+            valid = ~negative
+            contrib[valid] = (
+                block.values[valid] * weights[valid] * rep_decay.apply(ages[valid])
+            )
+            any_negative = bool(negative.any())
+            for k, truster in enumerate(trusters):
+                truster_id = store.entity_index_of(truster)
+                if truster_id is None:
+                    own = np.zeros(len(ages), dtype=bool)
+                else:
+                    own = block.truster == truster_id
+                if any_negative and bool(np.any(negative & ~own)):
+                    # The scalar loop would raise for this truster: a
+                    # future-dated opinion it does not itself hold.
+                    return None
+                mask = nonzero & ~own
+                totals = np.bincount(
+                    block.pos[mask], weights=contrib[mask], minlength=len(unique)
+                )
+                counts = np.bincount(block.pos[mask], minlength=len(unique))
+                omega[k] = np.where(
+                    counts > 0, totals / np.maximum(counts, 1), omega[k]
+                )
+        gamma = self.alpha * theta + self.beta * omega[:, inverse]
+        return [gamma[i] for i in range(n_x)]
 
     def gamma_level(
         self, truster: EntityId, trustee: EntityId, context: TrustContext, now: float

@@ -16,8 +16,10 @@ accuracy.
 
 from __future__ import annotations
 
-from collections.abc import Hashable, Iterable
+from collections.abc import Hashable, Iterable, Sequence
 from dataclasses import dataclass, field
+
+import numpy as np
 
 __all__ = ["AllianceRegistry", "RecommenderWeights"]
 
@@ -37,6 +39,12 @@ class AllianceRegistry:
         # reputation hot path (one per recommender per Γ evaluation), so
         # membership must resolve without scanning every declared group.
         self._membership: dict[EntityId, set[str]] = {}
+        self._epoch = 0
+
+    @property
+    def epoch(self) -> int:
+        """Monotonic mutation counter bumped by :meth:`declare`/:meth:`dissolve`."""
+        return self._epoch
 
     def declare(self, name: str, members: Iterable[EntityId]) -> None:
         """Create or extend the alliance ``name`` with ``members``."""
@@ -44,6 +52,7 @@ class AllianceRegistry:
         for member in members:
             group.add(member)
             self._membership.setdefault(member, set()).add(name)
+        self._epoch += 1
 
     def dissolve(self, name: str) -> None:
         """Remove an alliance group entirely; raises ``KeyError`` if absent."""
@@ -53,6 +62,7 @@ class AllianceRegistry:
             names.discard(name)
             if not names:
                 del self._membership[member]
+        self._epoch += 1
 
     def allied(self, a: EntityId, b: EntityId) -> bool:
         """Whether ``a`` and ``b`` share at least one alliance group."""
@@ -73,6 +83,28 @@ class AllianceRegistry:
             allies.update(self._groups[name])
         allies.discard(entity)
         return frozenset(allies)
+
+    def allied_matrix(self, entities: Sequence[EntityId]) -> np.ndarray:
+        """Boolean matrix ``M[i, j] = allied(entities[i], entities[j])``.
+
+        The diagonal is ``True`` (an entity is trivially allied with
+        itself), matching :meth:`allied`.  Built as a group-membership
+        matrix product so the columnar kernels can assemble a dense
+        ``R(z, y)`` factor matrix without per-pair Python calls.
+        """
+        ents = list(entities)
+        n = len(ents)
+        out = np.eye(n, dtype=bool)
+        if self._groups and n:
+            names = sorted(self._groups)
+            member = np.zeros((n, len(names)), dtype=bool)
+            for j, name in enumerate(names):
+                group = self._groups[name]
+                for i, entity in enumerate(ents):
+                    if entity in group:
+                        member[i, j] = True
+            out |= member @ member.T
+        return out
 
     def groups(self) -> frozenset[str]:
         """Names of all declared alliance groups."""
@@ -104,6 +136,7 @@ class RecommenderWeights:
     default_accuracy: float = 1.0
     learning_rate: float = 0.1
     _accuracy: dict[EntityId, float] = field(default_factory=dict, repr=False)
+    _epoch: int = field(default=0, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.ally_weight <= 1.0:
@@ -113,12 +146,37 @@ class RecommenderWeights:
         if not 0.0 < self.learning_rate <= 1.0:
             raise ValueError("learning_rate must lie in (0, 1]")
 
+    @property
+    def epoch(self) -> tuple:
+        """Opaque version token; compare for equality only.
+
+        Changes whenever anything that can alter a :meth:`factor` result
+        changes: learned accuracies (:meth:`observe_outcome`) or the
+        alliance registry (declare/dissolve or wholesale replacement).
+        """
+        return (self._epoch, id(self.alliances), self.alliances.epoch)
+
     def factor(self, recommender: EntityId, target: EntityId) -> float:
         """Return ``R(recommender, target)`` in ``[0, 1]``."""
         r = self._accuracy.get(recommender, self.default_accuracy)
         if self.alliances.allied(recommender, target):
             r *= self.ally_weight
         return r
+
+    def factor_matrix(self, entities: Sequence[EntityId]) -> np.ndarray:
+        """Dense ``F[i, j] = factor(entities[i], entities[j])`` matrix.
+
+        Bit-identical to calling :meth:`factor` per pair: the unallied
+        branch multiplies by exactly ``1.0``, which preserves every float
+        in ``[0, 1]``.
+        """
+        ents = list(entities)
+        acc = np.array(
+            [self._accuracy.get(z, self.default_accuracy) for z in ents],
+            dtype=np.float64,
+        )
+        allied = self.alliances.allied_matrix(ents)
+        return acc[:, None] * np.where(allied, self.ally_weight, 1.0)
 
     def accuracy(self, recommender: EntityId) -> float:
         """Current learned accuracy of ``recommender``."""
@@ -144,4 +202,5 @@ class RecommenderWeights:
         old = self._accuracy.get(recommender, self.default_accuracy)
         new = (1.0 - self.learning_rate) * old + self.learning_rate * sample
         self._accuracy[recommender] = new
+        self._epoch += 1
         return new

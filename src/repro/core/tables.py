@@ -88,6 +88,18 @@ class TrustTable:
     def __init__(self) -> None:
         self._records: dict[tuple[EntityId, EntityId, TrustContext], TrustRecord] = {}
         self._entities: set[EntityId] = set()
+        self._epoch = 0
+
+    @property
+    def epoch(self) -> int:
+        """Monotonic mutation counter, bumped by every :meth:`record`/:meth:`remove`.
+
+        The columnar kernels (:mod:`repro.core.columnar`) key their cached
+        array mirrors and memoised Γ rows on this value, so any table
+        mutation — evolution updates, adversary injections — invalidates
+        them wholesale.
+        """
+        return self._epoch
 
     # -- mutation ---------------------------------------------------------
 
@@ -111,11 +123,13 @@ class TrustTable:
         self._records[(truster, trustee, context)] = rec
         self._entities.add(truster)
         self._entities.add(trustee)
+        self._epoch += 1
         return rec
 
     def remove(self, truster: EntityId, trustee: EntityId, context: TrustContext) -> None:
         """Delete an entry; raises :class:`KeyError` if it does not exist."""
         del self._records[(truster, trustee, context)]
+        self._epoch += 1
 
     # -- queries ----------------------------------------------------------
 

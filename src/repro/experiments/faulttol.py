@@ -16,6 +16,8 @@ differ only in *where* they send work.
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
@@ -130,6 +132,7 @@ def run_fault_recovery(
     mtbf: float | None = None,
     mttr: float = 40.0,
     retry: RetryPolicy | None = None,
+    workers: int | None = 1,
 ) -> FaultRecoveryStudy:
     """Run the paired fault-recovery experiment.
 
@@ -159,6 +162,9 @@ def run_fault_recovery(
         mtbf: when set, machines additionally go down with this mean time
             between failures (and ``mttr`` mean repair time).
         retry: recovery policy; default allows 3 attempts with backoff.
+        workers: run the two policy arms in separate processes when > 1
+            (or ``None`` = every core); arms are fully independent, so the
+            parallel study is bit-identical to the sequential one.
 
     Returns:
         The paired study; ``completed + dropped + rejected == submitted``
@@ -188,20 +194,43 @@ def run_fault_recovery(
         default=StationaryBehavior(0.9, 0.05),
     )
 
-    outcomes = {}
-    for policy in (TrustPolicy.aware(), TrustPolicy.unaware()):
-        grid = materialize(spec, seed=seed).grid
-        session = GridSession(
-            grid=grid,
-            behavior=behavior,
-            policy=policy,
-            heuristic=heuristic,
-            seed=seed,
-            arrival_rate=arrival_rate,
-            batch_interval=batch_interval,
-            faults=faults,
-            retry=retry,
+    policies = (TrustPolicy.aware(), TrustPolicy.unaware())
+    arm_args = [
+        (
+            spec, policy, behavior, heuristic, seed, arrival_rate,
+            batch_interval, faults, retry, rounds, requests_per_round,
         )
-        result = session.run(rounds=rounds, requests_per_round=requests_per_round)
-        outcomes[policy.trust_aware] = _outcome(session, result)
+        for policy in policies
+    ]
+    n_workers = min(workers or (os.cpu_count() or 1), len(arm_args))
+    if n_workers > 1:
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            results = list(pool.map(_run_policy_arm, arm_args))
+    else:
+        results = [_run_policy_arm(args) for args in arm_args]
+    outcomes = {
+        policy.trust_aware: outcome for policy, outcome in zip(policies, results)
+    }
     return FaultRecoveryStudy(aware=outcomes[True], unaware=outcomes[False])
+
+
+def _run_policy_arm(args: tuple) -> FaultPolicyOutcome:
+    """One policy arm of the paired study (module-level for pickling)."""
+    (
+        spec, policy, behavior, heuristic, seed, arrival_rate,
+        batch_interval, faults, retry, rounds, requests_per_round,
+    ) = args
+    grid = materialize(spec, seed=seed).grid
+    session = GridSession(
+        grid=grid,
+        behavior=behavior,
+        policy=policy,
+        heuristic=heuristic,
+        seed=seed,
+        arrival_rate=arrival_rate,
+        batch_interval=batch_interval,
+        faults=faults,
+        retry=retry,
+    )
+    result = session.run(rounds=rounds, requests_per_round=requests_per_round)
+    return _outcome(session, result)

@@ -41,7 +41,7 @@ class ReproductionReport:
 
 
 def generate_report(
-    *, replications: int = 10, base_seed: int = 0
+    *, replications: int = 10, base_seed: int = 0, workers: int | None = 1
 ) -> ReproductionReport:
     """Regenerate every table and assemble the Markdown report.
 
@@ -49,6 +49,9 @@ def generate_report(
         replications: paired runs per scheduling cell (30 matches the
             committed EXPERIMENTS.md; 10 is a quick check).
         base_seed: first replication seed.
+        workers: replication-pool width per scheduling cell (``1`` =
+            sequential, ``None`` = every core); parallel and sequential
+            reports are byte-identical.
     """
     tables: dict[str, TableReproduction] = {}
     sections: list[str] = [
@@ -66,7 +69,7 @@ def generate_report(
 
     for number in sorted(SCHEDULING_TABLES):
         repro = reproduce_scheduling_table(
-            number, replications=replications, base_seed=base_seed
+            number, replications=replications, base_seed=base_seed, workers=workers
         )
         tables[repro.name] = repro
         sections += [f"## {repro.name}", "", "```", repro.rendering, "```", ""]
@@ -84,10 +87,13 @@ def generate_report(
 
 
 def write_report(
-    path: str | Path, *, replications: int = 10, base_seed: int = 0
+    path: str | Path, *, replications: int = 10, base_seed: int = 0,
+    workers: int | None = 1,
 ) -> Path:
     """Generate the report and write it to ``path``; returns the path."""
-    report = generate_report(replications=replications, base_seed=base_seed)
+    report = generate_report(
+        replications=replications, base_seed=base_seed, workers=workers
+    )
     path = Path(path)
     path.write_text(report.markdown, encoding="utf-8")
     return path

@@ -21,7 +21,8 @@ from repro.experiments.config import (
     paper_spec,
     table_config,
 )
-from repro.experiments.runner import CellResult, run_paired_cell
+from repro.experiments.parallel import run_paired_cell_parallel
+from repro.experiments.runner import CellResult
 from repro.metrics.report import Table, format_percent, format_seconds
 from repro.security.network import FAST_ETHERNET, GIGABIT_ETHERNET, NetworkLink
 from repro.security.sandbox import (
@@ -150,6 +151,7 @@ def reproduce_scheduling_table(
     replications: int = PAPER_REPLICATIONS,
     task_counts: tuple[int, ...] = PAPER_TASK_COUNTS,
     base_seed: int = 0,
+    workers: int | None = 1,
 ) -> TableReproduction:
     """Regenerate one of Tables 4–9 (trust-aware vs unaware scheduling).
 
@@ -158,6 +160,10 @@ def reproduce_scheduling_table(
         replications: paired simulations averaged per cell.
         task_counts: the "# of tasks" rows (paper: 50 and 100).
         base_seed: first seed of the replication sequence.
+        workers: process-pool width per cell; ``1`` (the default) runs
+            sequentially and ``None`` uses every core.  Parallel cells are
+            bit-identical to sequential ones (each replication is an
+            independent seed; results merge in seed order).
     """
     cfg: TableConfig = table_config(number)
     aware, unaware = paper_policies()
@@ -175,7 +181,7 @@ def reproduce_scheduling_table(
     cells: dict[int, CellResult] = {}
     for n_tasks in task_counts:
         spec = paper_spec(n_tasks, cfg.consistency)
-        cell = run_paired_cell(
+        cell = run_paired_cell_parallel(
             spec,
             cfg.heuristic,
             aware,
@@ -183,6 +189,7 @@ def reproduce_scheduling_table(
             replications=replications,
             base_seed=base_seed,
             batch_interval=PAPER_BATCH_INTERVAL,
+            workers=workers,
         )
         cells[n_tasks] = cell
         paper_value = cfg.paper_improvements.get(n_tasks)

@@ -1,0 +1,260 @@
+"""Trust-kernel performance sweep (``BENCH_trust.json``).
+
+The machinery behind ``repro-trms bench trust`` and
+``benchmarks/bench_trust_kernel.py``.  It times the scalar
+``TrustEngine.gamma`` double loop against the batched
+``TrustEngine.gamma_matrix`` kernel on growing entity populations whose
+opinion values follow the Table-6 OTL distribution (Section 5.3's uniform
+[1, 5] offered levels — the Hi/Hi scheduling workload's trust plane), and
+emits the comparison as a machine-readable perf-trajectory artifact.
+
+The scalar reference walks the whole trust table once per ``gamma`` call,
+so a full Γ surface is cubic in practice; the reference is therefore timed
+on ``reference_rows`` truster rows only and both kernels are compared on
+*per-row* wall time.  The batched kernel is timed on the full surface with
+the Γ memo cleared between repeats (the columnar mirror stays warm — it
+persists across epochs in real use), so the measurement isolates the
+evaluation kernel, not the cache.  Bit-identity of the sampled scalar rows
+against the batched surface is asserted during every sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.context import TrustContext
+from repro.core.decay import ExponentialDecay
+from repro.core.engine import TrustEngine
+from repro.core.recommender import AllianceRegistry, RecommenderWeights
+from repro.core.tables import TrustTable, level_to_value
+from repro.workloads.trustgen import sample_offered_table
+
+__all__ = [
+    "SCHEMA",
+    "SIZES",
+    "REPEATS",
+    "REFERENCE_ROWS",
+    "SMOKE_SLOWDOWN_LIMIT",
+    "MIN_LARGE_SPEEDUP",
+    "build_case",
+    "run_sweep",
+    "validate_trust_payload",
+    "render_sweep",
+    "write_artifact",
+]
+
+SCHEMA = "repro.bench.trust/v1"
+#: Default artifact path — the repository root, next to ``BENCH_sched.json``.
+DEFAULT_ARTIFACT = Path(__file__).resolve().parents[3] / "BENCH_trust.json"
+#: Total entity counts swept (half trusters, half trustees).
+SIZES = (64, 256, 1024)
+OPINIONS_PER_TRUSTEE = 8
+N_CONTEXTS = 4
+SEED = 0
+REPEATS = 3
+#: Truster rows the scalar reference is timed on (a full scalar surface is
+#: cubic: rows x trustees x table walk).
+REFERENCE_ROWS = 4
+#: CI guard: the batched kernel must not fall behind the scalar reference
+#: by more than this factor at the smoke size.
+SMOKE_SLOWDOWN_LIMIT = 1.5
+#: Acceptance floor: per-row speedup required at >= 1024 entities.
+MIN_LARGE_SPEEDUP = 5.0
+
+
+def build_case(
+    n_entities: int,
+    *,
+    opinions_per_trustee: int = OPINIONS_PER_TRUSTEE,
+    n_contexts: int = N_CONTEXTS,
+    seed: int = SEED,
+):
+    """Build one benchmark population: an engine plus its query surface.
+
+    Entities split evenly into truster clients (``cd:*``) and trustee
+    resources (``rd:*``).  Every (trustee, context) pair receives
+    ``opinions_per_trustee`` recorded opinions from randomly chosen
+    trusters; opinion values are Table-6 OTL levels mapped through
+    :func:`level_to_value`, so the value distribution matches the Hi/Hi
+    scheduling workload's trust plane.  The single shared table serves both
+    DTT and RTT roles (the paper's recommended deployment), alliances group
+    the first trusters, and a few deterministic ``observe_outcome`` calls
+    spread the learned accuracies so the factor matrix is non-trivial.
+
+    Returns:
+        ``(engine, trusters, trustees, contexts, now)``.
+    """
+    if n_entities < 4:
+        raise ValueError("n_entities must be >= 4")
+    rng = np.random.default_rng(seed)
+    n_rd = n_entities // 2
+    n_cd = n_entities - n_rd
+    trusters = [f"cd:{i}" for i in range(n_cd)]
+    trustees = [f"rd:{j}" for j in range(n_rd)]
+    contexts = [TrustContext(f"toa{k}") for k in range(n_contexts)]
+
+    otl = sample_offered_table(n_cd, n_rd, n_contexts, rng)
+    table = TrustTable()
+    for j, trustee in enumerate(trustees):
+        for k, context in enumerate(contexts):
+            holders = rng.choice(n_cd, size=min(opinions_per_trustee, n_cd),
+                                 replace=False)
+            for i in holders:
+                table.record(
+                    trusters[i], trustee, context,
+                    level_to_value(int(otl[i, j, k])),
+                    float(rng.uniform(0.0, 100.0)),
+                )
+
+    alliances = AllianceRegistry()
+    group = max(2, min(8, n_cd // 4))
+    alliances.declare("bench-a", trusters[:group])
+    alliances.declare("bench-b", trusters[group:2 * group])
+    weights = RecommenderWeights(alliances=alliances)
+    for i in range(0, n_cd, max(1, n_cd // 16)):
+        weights.observe_outcome(trusters[i], 0.8, float(rng.uniform(0.0, 1.0)))
+
+    engine = TrustEngine.build(
+        decay=ExponentialDecay(rate=0.01), weights=weights, table=table
+    )
+    return engine, trusters, trustees, contexts, 120.0
+
+
+def _scalar_surface(engine, rows, trustees, contexts, now) -> np.ndarray:
+    out = np.empty((len(rows), len(trustees), len(contexts)))
+    for i, x in enumerate(rows):
+        for j, y in enumerate(trustees):
+            for k, c in enumerate(contexts):
+                out[i, j, k] = engine.gamma(x, y, c, now)
+    return out
+
+
+def _batched_surface(engine, trusters, trustees, contexts, now) -> np.ndarray:
+    out = np.empty((len(trusters), len(trustees), len(contexts)))
+    for k, c in enumerate(contexts):
+        out[:, :, k] = engine.gamma_matrix(trusters, trustees, c, now)
+    return out
+
+
+def run_case(
+    n_entities: int, *, repeats: int = REPEATS, reference_rows: int = REFERENCE_ROWS,
+    opinions_per_trustee: int = OPINIONS_PER_TRUSTEE, n_contexts: int = N_CONTEXTS,
+    seed: int = SEED,
+) -> dict:
+    """Time one population; returns the per-case result entry."""
+    engine, trusters, trustees, contexts, now = build_case(
+        n_entities, opinions_per_trustee=opinions_per_trustee,
+        n_contexts=n_contexts, seed=seed,
+    )
+    rows = trusters[:reference_rows]
+
+    # Warm-up builds the columnar mirror once; clearing the memo per repeat
+    # then times the batched evaluation kernel itself.
+    batched = _batched_surface(engine, trusters, trustees, contexts, now)
+    batched_s = np.inf
+    for _ in range(repeats):
+        engine.clear_memo()
+        start = time.perf_counter()
+        _batched_surface(engine, trusters, trustees, contexts, now)
+        batched_s = min(batched_s, time.perf_counter() - start)
+
+    scalar_s = np.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        scalar = _scalar_surface(engine, rows, trustees, contexts, now)
+        scalar_s = min(scalar_s, time.perf_counter() - start)
+    assert np.array_equal(scalar, batched[: len(rows)]), (
+        f"batched surface diverged from scalar rows at n_entities={n_entities}"
+    )
+
+    scalar_row_s = scalar_s / len(rows)
+    batched_row_s = batched_s / len(trusters)
+    return {
+        "n_entities": n_entities,
+        "n_opinions": len(list(engine.table.items())),
+        "n_contexts": n_contexts,
+        "scalar_rows": len(rows),
+        "scalar_s": scalar_s,
+        "scalar_row_s": scalar_row_s,
+        "batched_s": batched_s,
+        "batched_row_s": batched_row_s,
+        "speedup": scalar_row_s / batched_row_s,
+    }
+
+
+def run_sweep(
+    sizes=SIZES, *, repeats: int = REPEATS, reference_rows: int = REFERENCE_ROWS
+) -> dict:
+    """Time every population size; returns the JSON artifact payload."""
+    results = [
+        run_case(n, repeats=repeats, reference_rows=reference_rows) for n in sizes
+    ]
+    return {
+        "schema": SCHEMA,
+        "workload": {
+            "source": "table6-otl",
+            "opinions_per_trustee": OPINIONS_PER_TRUSTEE,
+            "contexts": N_CONTEXTS,
+            "decay": "exponential(rate=0.01)",
+            "seed": SEED,
+        },
+        "reference_rows": reference_rows,
+        "repeats": repeats,
+        "results": results,
+    }
+
+
+def validate_trust_payload(payload: dict) -> None:
+    """Schema check shared by the CI smoke test and artifact consumers."""
+    assert payload["schema"] == SCHEMA
+    assert set(payload) == {
+        "schema", "workload", "reference_rows", "repeats", "results",
+    }
+    assert set(payload["workload"]) == {
+        "source", "opinions_per_trustee", "contexts", "decay", "seed",
+    }
+    assert payload["results"], "empty results"
+    for entry in payload["results"]:
+        assert set(entry) == {
+            "n_entities", "n_opinions", "n_contexts", "scalar_rows",
+            "scalar_s", "scalar_row_s", "batched_s", "batched_row_s",
+            "speedup",
+        }
+        assert entry["n_entities"] >= 4
+        assert entry["n_opinions"] > 0
+        assert 0 < entry["scalar_rows"] <= entry["n_entities"]
+        assert entry["scalar_s"] > 0 and entry["batched_s"] > 0
+        assert np.isclose(
+            entry["speedup"], entry["scalar_row_s"] / entry["batched_row_s"]
+        )
+        if entry["n_entities"] >= 1024:
+            assert entry["speedup"] >= MIN_LARGE_SPEEDUP, (
+                f"batched kernel below the {MIN_LARGE_SPEEDUP:g}x acceptance "
+                f"floor at n_entities={entry['n_entities']}: "
+                f"{entry['speedup']:.2f}x"
+            )
+
+
+def render_sweep(payload: dict) -> str:
+    """Human-readable summary of a sweep payload."""
+    lines = []
+    for entry in payload["results"]:
+        lines.append(
+            f"n={entry['n_entities']:<5} opinions={entry['n_opinions']:<6} "
+            f"scalar {entry['scalar_row_s'] * 1e3:9.3f} ms/row  "
+            f"batched {entry['batched_row_s'] * 1e3:9.3f} ms/row  "
+            f"speedup {entry['speedup']:8.1f}x"
+        )
+    return "\n".join(lines)
+
+
+def write_artifact(payload: dict, path: str | Path = DEFAULT_ARTIFACT) -> Path:
+    """Validate and write the artifact; returns the path."""
+    validate_trust_payload(payload)
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=1) + "\n", encoding="utf-8")
+    return path

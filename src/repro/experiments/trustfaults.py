@@ -29,6 +29,8 @@ attack-induced gap the defence wins back:
 from __future__ import annotations
 
 import json
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -185,14 +187,13 @@ def _gamma_surface(session: GridSession) -> np.ndarray:
     activities = list(grid.catalog)
     surface = np.zeros((n_cd, n_rd, len(activities)), dtype=np.float64)
     now = session.now
-    for i in range(n_cd):
-        truster = domain_entity_id(AgentSide.CLIENT_DOMAIN, i)
-        for j in range(n_rd):
-            trustee = domain_entity_id(AgentSide.RESOURCE_DOMAIN, j)
-            for k, activity in enumerate(activities):
-                surface[i, j, k] = engine.gamma(
-                    truster, trustee, activity.context, now
-                )
+    trusters = [domain_entity_id(AgentSide.CLIENT_DOMAIN, i) for i in range(n_cd)]
+    trustees = [domain_entity_id(AgentSide.RESOURCE_DOMAIN, j) for j in range(n_rd)]
+    # One batched Γ evaluation per activity context; bit-identical to the
+    # scalar triple loop (and falling back to it internally while the
+    # availability filter of an attacked arm is installed).
+    for k, activity in enumerate(activities):
+        surface[:, :, k] = engine.gamma_matrix(trusters, trustees, activity.context, now)
     return surface
 
 
@@ -216,6 +217,7 @@ def run_trustfault_study(
     table_fault: TrustSourceFault | None = None,
     query: TrustQueryConfig | None = None,
     retry: RetryPolicy | None = None,
+    workers: int | None = 1,
 ) -> TrustFaultStudy:
     """Run the three-arm trust-plane resilience experiment.
 
@@ -246,6 +248,9 @@ def run_trustfault_study(
             layered on top of the integrity attack in all attacked arms.
         query: query-path tuning accompanying ``table_fault``.
         retry: recovery policy; default allows 3 attempts.
+        workers: run the three arms in separate processes when > 1 (or
+            ``None`` = every core); arms are fully independent, so the
+            parallel study is bit-identical to the sequential one.
 
     Returns:
         The three-arm study with recovery fractions.
@@ -284,72 +289,124 @@ def run_trustfault_study(
         default=StationaryBehavior(0.9, 0.05),
     )
 
-    def build_arm(
-        label: str, attacked: bool, purging: bool
-    ) -> TrustFaultArmOutcome:
-        grid = materialize(spec, seed=seed).grid
-        weights: RecommenderWeights = CredibilityWeights(
-            learning_rate=learning_rate,
-            purge_threshold=purge_threshold if purging else 0.0,
-            min_observations=min_observations,
-        )
-        fleet = AgentFleet.for_table(
-            grid.trust_table,
-            gamma_weights=gamma_weights,
-            recommender_weights=weights,
-        )
-        trustfaults = None
-        if attacked or table_fault is not None:
-            trustfaults = TrustFaultModel(
-                table=table_fault,
-                integrity=(
-                    IntegrityFaultModel(adversaries=adversaries)
-                    if attacked
-                    else None
-                ),
-                query=query if query is not None else TrustQueryConfig(),
-            )
-        session = GridSession(
-            grid=grid,
-            behavior=behavior,
-            policy=TrustPolicy.aware(),
-            heuristic=heuristic,
-            seed=seed,
-            arrival_rate=arrival_rate,
-            batch_interval=batch_interval,
-            fleet=fleet,
-            faults=faults,
-            retry=retry,
-            trustfaults=trustfaults,
-        )
-        result = session.run(rounds=rounds, requests_per_round=requests_per_round)
-        purged = (
-            tuple(sorted(map(str, weights.purged)))
-            if isinstance(weights, CredibilityWeights)
-            else ()
-        )
-        flow = [r.schedule.average_flow_time for r in result.rounds]
-        return TrustFaultArmOutcome(
-            label=label,
-            completed=sum(r.schedule.n_completed for r in result.rounds),
-            failures=result.total_failures,
-            dropped=result.total_dropped,
-            degraded=result.total_degraded,
-            injected_opinions=sum(r.injected_opinions for r in result.rounds),
-            purged=purged,
-            makespan=session.now,
-            goodput=(
-                sum(r.schedule.n_completed for r in result.rounds) / session.now
-                if session.now > 0
-                else 0.0
-            ),
-            mean_flow_time=float(np.mean(flow)) if flow else 0.0,
-            gamma=_gamma_surface(session),
-            session=result,
-        )
+    shared = _ArmConfig(
+        spec=spec,
+        seed=seed,
+        rounds=rounds,
+        requests_per_round=requests_per_round,
+        heuristic=heuristic,
+        batch_interval=batch_interval,
+        arrival_rate=arrival_rate,
+        gamma_weights=gamma_weights,
+        learning_rate=learning_rate,
+        purge_threshold=purge_threshold,
+        min_observations=min_observations,
+        adversaries=adversaries,
+        faults=faults,
+        retry=retry,
+        behavior=behavior,
+        table_fault=table_fault,
+        query=query,
+    )
+    arm_args = [
+        ("honest", False, False, shared),
+        ("attacked", True, False, shared),
+        ("defended", True, True, shared),
+    ]
+    n_workers = min(workers or (os.cpu_count() or 1), len(arm_args))
+    if n_workers > 1:
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            arms = list(pool.map(_build_arm, arm_args))
+    else:
+        arms = [_build_arm(args) for args in arm_args]
+    return TrustFaultStudy(honest=arms[0], attacked=arms[1], defended=arms[2])
 
-    return TrustFaultStudy(
-        honest=build_arm("honest", attacked=False, purging=False),
-        attacked=build_arm("attacked", attacked=True, purging=False),
-        defended=build_arm("defended", attacked=True, purging=True),
+
+@dataclass(frozen=True)
+class _ArmConfig:
+    """Shared, picklable configuration of one study arm."""
+
+    spec: ScenarioSpec
+    seed: int
+    rounds: int
+    requests_per_round: int
+    heuristic: str
+    batch_interval: float | None
+    arrival_rate: float
+    gamma_weights: tuple[float, float]
+    learning_rate: float
+    purge_threshold: float
+    min_observations: int
+    adversaries: tuple[AdversarySpec, ...]
+    faults: FaultModel
+    retry: RetryPolicy
+    behavior: BehaviorModel
+    table_fault: TrustSourceFault | None
+    query: TrustQueryConfig | None
+
+
+def _build_arm(args: tuple[str, bool, bool, _ArmConfig]) -> TrustFaultArmOutcome:
+    """One study arm (module-level so the process pool can pickle it)."""
+    label, attacked, purging, cfg = args
+    grid = materialize(cfg.spec, seed=cfg.seed).grid
+    weights: RecommenderWeights = CredibilityWeights(
+        learning_rate=cfg.learning_rate,
+        purge_threshold=cfg.purge_threshold if purging else 0.0,
+        min_observations=cfg.min_observations,
+    )
+    fleet = AgentFleet.for_table(
+        grid.trust_table,
+        gamma_weights=cfg.gamma_weights,
+        recommender_weights=weights,
+    )
+    trustfaults = None
+    if attacked or cfg.table_fault is not None:
+        trustfaults = TrustFaultModel(
+            table=cfg.table_fault,
+            integrity=(
+                IntegrityFaultModel(adversaries=cfg.adversaries)
+                if attacked
+                else None
+            ),
+            query=cfg.query if cfg.query is not None else TrustQueryConfig(),
+        )
+    session = GridSession(
+        grid=grid,
+        behavior=cfg.behavior,
+        policy=TrustPolicy.aware(),
+        heuristic=cfg.heuristic,
+        seed=cfg.seed,
+        arrival_rate=cfg.arrival_rate,
+        batch_interval=cfg.batch_interval,
+        fleet=fleet,
+        faults=cfg.faults,
+        retry=cfg.retry,
+        trustfaults=trustfaults,
+    )
+    result = session.run(
+        rounds=cfg.rounds, requests_per_round=cfg.requests_per_round
+    )
+    purged = (
+        tuple(sorted(map(str, weights.purged)))
+        if isinstance(weights, CredibilityWeights)
+        else ()
+    )
+    flow = [r.schedule.average_flow_time for r in result.rounds]
+    return TrustFaultArmOutcome(
+        label=label,
+        completed=sum(r.schedule.n_completed for r in result.rounds),
+        failures=result.total_failures,
+        dropped=result.total_dropped,
+        degraded=result.total_degraded,
+        injected_opinions=sum(r.injected_opinions for r in result.rounds),
+        purged=purged,
+        makespan=session.now,
+        goodput=(
+            sum(r.schedule.n_completed for r in result.rounds) / session.now
+            if session.now > 0
+            else 0.0
+        ),
+        mean_flow_time=float(np.mean(flow)) if flow else 0.0,
+        gamma=_gamma_surface(session),
+        session=result,
     )

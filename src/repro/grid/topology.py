@@ -67,6 +67,11 @@ class Grid:
         self.cd_required = np.array(
             [int(cd.required_level) for cd in self.client_domains], dtype=np.int64
         )
+        # Epoch-keyed trust-cost memo: rows depend only on the (immutable)
+        # domain structure and the trust table's levels, so they stay valid
+        # exactly as long as the table's mutation epoch does.
+        self._tc_memo: dict = {}
+        self._tc_memo_epoch = -1
 
     def _validate(self) -> None:
         if not self.machines:
@@ -118,10 +123,16 @@ class Grid:
         Combines :meth:`required_per_rd` with the trust table's OTLs and
         expands the per-RD costs to per-machine via the machine→RD map.
         """
+        key = ("row", cd_index, tuple(activities))
+        cached = self._tc_lookup(key)
+        if cached is not None:
+            return cached.copy()
         per_rd = self.trust_table.trust_cost_row(
             cd_index, activities, self.required_per_rd(cd_index)
         )
-        return per_rd[self.machine_rd]
+        result = per_rd[self.machine_rd]
+        self._tc_store(key, result)
+        return result.copy()
 
     def trust_cost_matrix(
         self, cd_indices: np.ndarray, activity_masks: np.ndarray
@@ -143,9 +154,31 @@ class Grid:
             raise ConfigurationError(
                 f"client domain indices must lie in [0, {n_cd - 1}]"
             )
+        masks = np.asarray(activity_masks, dtype=bool)
+        key = ("matrix", cds.shape, cds.tobytes(), masks.shape, masks.tobytes())
+        cached = self._tc_lookup(key)
+        if cached is not None:
+            return cached.copy()
         required = np.maximum(self.cd_required[cds][:, None], self.rd_required[None, :])
-        per_rd = self.trust_table.trust_cost_rows(cds, activity_masks, required)
-        return per_rd[:, self.machine_rd]
+        per_rd = self.trust_table.trust_cost_rows(cds, masks, required)
+        result = per_rd[:, self.machine_rd]
+        self._tc_store(key, result)
+        return result.copy()
+
+    def _tc_lookup(self, key: tuple) -> np.ndarray | None:
+        epoch = self.trust_table.epoch
+        if epoch != self._tc_memo_epoch:
+            self._tc_memo.clear()
+            self._tc_memo_epoch = epoch
+            return None
+        return self._tc_memo.get(key)
+
+    def _tc_store(self, key: tuple, result: np.ndarray) -> None:
+        # Wholesale eviction bounds the memo; pricing keys per round are
+        # few, so this trips only under adversarial query diversity.
+        if len(self._tc_memo) >= 512:
+            self._tc_memo.clear()
+        self._tc_memo[key] = result
 
 
 class GridBuilder:

@@ -61,6 +61,17 @@ class GridTrustTable:
             dtype=np.int64,
         )
         self._ets = ets if ets is not None else EtsTable()
+        self._epoch = 0
+
+    @property
+    def epoch(self) -> int:
+        """Monotonic mutation counter, bumped by :meth:`set`/:meth:`fill_from`.
+
+        :class:`~repro.grid.topology.Grid` keys its memoised trust-cost
+        rows on this value, so every published level change re-prices
+        exactly while unchanged tables reuse prior rows across rounds.
+        """
+        return self._epoch
 
     # -- shape ------------------------------------------------------------
 
@@ -97,6 +108,7 @@ class GridTrustTable:
         if not value.is_offerable:
             raise ValueError("offered levels span A..E; F cannot be stored")
         self._levels[cd, rd, activity] = int(value)
+        self._epoch += 1
 
     def fill_from(self, levels: np.ndarray) -> None:
         """Bulk-load the whole table from an integer array of levels.
@@ -111,6 +123,7 @@ class GridTrustTable:
         if arr.min() < int(MIN_LEVEL) or arr.max() > int(MAX_OFFERED_LEVEL):
             raise ValueError("offered levels must lie in [A, E] = [1, 5]")
         self._levels[...] = arr
+        self._epoch += 1
 
     # -- trust queries ------------------------------------------------------
 

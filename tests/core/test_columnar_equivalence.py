@@ -1,0 +1,223 @@
+"""Hypothesis equivalence suite: batched trust kernels vs the scalar oracle.
+
+The batched kernels (``Reputation.evaluate_many``,
+``TrustEngine.gamma_matrix``) promise *bit-identity* with the scalar
+``evaluate`` / ``gamma`` loops — not approximate agreement.  Every
+comparison below therefore uses exact ``==`` over randomly generated
+worlds: random tables, decays, alliances, learned accuracies, purged
+recommenders, source filters and askers, plus mid-run table/weights
+evolution to exercise the epoch-versioned memo.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.context import TrustContext
+from repro.core.decay import (
+    ExponentialDecay,
+    HalfLifeDecay,
+    LinearDecay,
+    NoDecay,
+    StepDecay,
+)
+from repro.core.engine import TrustEngine
+from repro.core.recommender import AllianceRegistry, RecommenderWeights
+from repro.core.reputation import Reputation
+from repro.core.tables import TrustTable
+from repro.obs.metrics import MetricsRegistry
+from repro.trustfaults.credibility import CredibilityWeights
+
+NOW = 100.0
+CONTEXTS = (TrustContext("c0"), TrustContext("c1"))
+DECAYS = (
+    NoDecay(),
+    ExponentialDecay(rate=0.03, floor=0.1),
+    LinearDecay(horizon=60.0),
+    StepDecay(fresh_for=40.0, stale_value=0.4),
+    HalfLifeDecay(half_life=25.0),
+)
+
+
+@st.composite
+def trust_worlds(draw):
+    """A random (engine, entities) world sharing one DTT/RTT table."""
+    n = draw(st.integers(min_value=4, max_value=9))
+    entities = [f"e{i}" for i in range(n)]
+
+    table = TrustTable()
+    for _ in range(draw(st.integers(min_value=0, max_value=35))):
+        i = draw(st.integers(0, n - 1))
+        j = draw(st.integers(0, n - 2))
+        trustee = entities[j if j < i else j + 1]
+        table.record(
+            entities[i],
+            trustee,
+            draw(st.sampled_from(CONTEXTS)),
+            draw(st.floats(0.0, 1.0, allow_nan=False)),
+            draw(st.floats(0.0, NOW, allow_nan=False)),
+        )
+
+    alliances = AllianceRegistry()
+    if draw(st.booleans()):
+        members = draw(
+            st.lists(st.sampled_from(entities), min_size=2, max_size=4, unique=True)
+        )
+        alliances.declare("g", members)
+    if draw(st.booleans()):
+        weights = CredibilityWeights(
+            alliances=alliances,
+            purge_threshold=draw(st.sampled_from((0.0, 0.6))),
+            min_observations=1,
+            learning_rate=1.0,
+        )
+    else:
+        weights = RecommenderWeights(alliances=alliances)
+    for _ in range(draw(st.integers(min_value=0, max_value=4))):
+        weights.observe_outcome(
+            draw(st.sampled_from(entities)),
+            draw(st.floats(0.0, 1.0, allow_nan=False)),
+            draw(st.floats(0.0, 1.0, allow_nan=False)),
+        )
+
+    engine = TrustEngine.build(
+        alpha=0.6,
+        beta=0.4,
+        decay=draw(st.sampled_from(DECAYS)),
+        weights=weights,
+        table=table,
+        unknown_prior=draw(st.sampled_from((0.0, 0.3))),
+    )
+    return engine, entities
+
+
+def _assert_gamma_bit_identical(engine, entities):
+    for context in CONTEXTS:
+        matrix = engine.gamma_matrix(entities, entities, context, NOW)
+        assert matrix.shape == (len(entities), len(entities))
+        for i, x in enumerate(entities):
+            for j, y in enumerate(entities):
+                assert matrix[i, j] == engine.gamma(x, y, context, NOW)
+
+
+@settings(max_examples=30, deadline=None)
+@given(world=trust_worlds())
+def test_gamma_matrix_matches_scalar_exactly(world):
+    engine, entities = world
+    _assert_gamma_bit_identical(engine, entities)
+
+
+@settings(max_examples=30, deadline=None)
+@given(world=trust_worlds(), asker_idx=st.integers(0, 9))
+def test_evaluate_many_matches_scalar_exactly(world, asker_idx):
+    engine, entities = world
+    rep = engine.reputation
+    asker = (entities + ["stranger"])[asker_idx % (len(entities) + 1)]
+    trustees = entities + ["unknown", entities[0]]
+    for context in CONTEXTS:
+        batched = rep.evaluate_many(trustees, context, NOW, asking=asker)
+        for j, y in enumerate(trustees):
+            assert batched[j] == rep.evaluate(y, context, NOW, asking=asker)
+
+
+@settings(max_examples=20, deadline=None)
+@given(world=trust_worlds(), data=st.data())
+def test_mid_run_evolution_invalidates_the_memo(world, data):
+    """Mutations between batches must never serve stale memoised rows."""
+    engine, entities = world
+    _assert_gamma_bit_identical(engine, entities)
+
+    mutation = data.draw(st.sampled_from(("record", "outcome", "alliance")))
+    if mutation == "record":
+        engine.table.record(
+            entities[0], entities[1], CONTEXTS[0],
+            data.draw(st.floats(0.0, 1.0, allow_nan=False)), NOW - 1.0,
+        )
+    elif mutation == "outcome":
+        engine.reputation.weights.observe_outcome(entities[1], 0.9, 0.1)
+    else:
+        engine.reputation.weights.alliances.declare("late", entities[:2])
+
+    _assert_gamma_bit_identical(engine, entities)
+
+
+@settings(max_examples=20, deadline=None)
+@given(world=trust_worlds(), cutoff=st.floats(0.0, 1.0, allow_nan=False))
+def test_source_filter_regime_matches_scalar_exactly(world, cutoff):
+    """With an availability filter installed, Ω degrades identically."""
+    engine, entities = world
+    filtered = Reputation(
+        table=engine.table,
+        weights=engine.reputation.weights,
+        decay=engine.reputation.decay,
+        unknown_prior=engine.reputation.unknown_prior,
+        source_filter=lambda z, now: (hash(z) % 100) / 100.0 >= cutoff,
+    )
+    for context in CONTEXTS:
+        batched = filtered.evaluate_many(entities, context, NOW, asking="stranger")
+        for j, y in enumerate(entities):
+            assert batched[j] == filtered.evaluate(y, context, NOW, asking="stranger")
+
+
+class TestMemoInstrumentation:
+    def _engine(self):
+        table = TrustTable()
+        for i in range(4):
+            for j in range(4):
+                if i != j:
+                    table.record(f"e{i}", f"e{j}", CONTEXTS[0], 0.5 + 0.1 * i, 10.0 * j)
+        return TrustEngine.build(table=table), [f"e{i}" for i in range(4)]
+
+    def test_memo_hits_and_batch_rows_are_counted(self):
+        engine, entities = self._engine()
+        registry = MetricsRegistry(enabled=True)
+        engine.bind_metrics(registry)
+        first = engine.gamma_matrix(entities, entities, CONTEXTS[0], NOW)
+        assert registry.counter("trust.batch_rows").value == len(entities)
+        assert registry.counter("trust.memo_hits").value == 0
+        second = engine.gamma_matrix(entities, entities, CONTEXTS[0], NOW)
+        assert registry.counter("trust.memo_hits").value == len(entities)
+        assert registry.counter("trust.batch_rows").value == len(entities)
+        np.testing.assert_array_equal(first, second)
+        assert registry.histogram(
+            "trust.gamma_latency_s.kernel=batched"
+        ).count == 2
+
+    def test_mutation_counts_one_wholesale_invalidation(self):
+        engine, entities = self._engine()
+        registry = MetricsRegistry(enabled=True)
+        engine.bind_metrics(registry)
+        engine.gamma_matrix(entities, entities, CONTEXTS[0], NOW)
+        engine.table.record("e0", "e1", CONTEXTS[0], 0.9, 50.0)
+        engine.gamma_matrix(entities, entities, CONTEXTS[0], NOW)
+        assert registry.counter("trust.memo_invalidations").value == 1
+        assert registry.counter("trust.memo_hits").value == 0
+
+    def test_scalar_gamma_feeds_the_scalar_histogram(self):
+        engine, entities = self._engine()
+        registry = MetricsRegistry(enabled=True)
+        engine.bind_metrics(registry)
+        engine.gamma(entities[0], entities[1], CONTEXTS[0], NOW)
+        assert registry.histogram(
+            "trust.gamma_latency_s.kernel=scalar"
+        ).count == 1
+        assert registry.histogram(
+            "trust.gamma_latency_s.kernel=batched"
+        ).count == 0
+
+    def test_degraded_rows_are_never_memoised(self):
+        engine, entities = self._engine()
+        engine.reputation = Reputation(
+            table=engine.table,
+            weights=engine.reputation.weights,
+            source_filter=lambda z, now: z != "e1",
+        )
+        engine.gamma_matrix(entities, entities, CONTEXTS[0], NOW)
+        assert not engine._memo
+
+    def test_clear_memo_forgets_every_row(self):
+        engine, entities = self._engine()
+        engine.gamma_matrix(entities, entities, CONTEXTS[0], NOW)
+        assert engine._memo
+        engine.clear_memo()
+        assert not engine._memo

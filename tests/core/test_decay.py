@@ -54,6 +54,18 @@ class TestDecayProtocol:
             decay.apply(np.array([1.0, -0.5]))
 
 
+@pytest.mark.parametrize("decay", ALL_DECAYS, ids=lambda d: type(d).__name__)
+@given(age=ages)
+def test_scalar_call_is_single_element_apply(decay, age):
+    """``__call__`` must be *bit-identical* to a one-element ``apply``.
+
+    The scalar Γ path and the batched kernels share ``apply`` precisely so
+    they agree to the last ulp (``math.exp`` and ``np.exp`` differ); exact
+    equality here is the contract the equivalence suite builds on.
+    """
+    assert decay(age) == decay.apply(np.asarray([age], dtype=np.float64))[0]
+
+
 class TestSpecifics:
     def test_exponential_floor_is_asymptote(self):
         d = ExponentialDecay(rate=1.0, floor=0.25)

@@ -1,0 +1,55 @@
+"""Worker-pool wiring: every parallel entry point matches sequential exactly.
+
+``run_paired_cell_parallel`` itself is covered in ``test_parallel.py``;
+these tests pin the *consumers* — table reproduction, the fault-recovery
+study and the trust-fault study — whose arms/replications are independent,
+so spreading them over a process pool must be bit-identical to running
+them in order.  Sizes are kept tiny: the point is equality, not load.
+"""
+
+from repro.experiments.faulttol import run_fault_recovery
+from repro.experiments.tables import reproduce_scheduling_table
+from repro.experiments.trustfaults import run_trustfault_study
+
+
+def _outcome_key(outcome):
+    return (
+        outcome.label,
+        outcome.completed,
+        outcome.dropped,
+        outcome.rejected,
+        outcome.failures,
+        outcome.wasted_work,
+        outcome.useful_work,
+        outcome.horizon,
+    )
+
+
+class TestSchedulingTableWorkers:
+    def test_parallel_rendering_is_byte_identical(self):
+        kwargs = dict(replications=4, task_counts=(20,), base_seed=3)
+        seq = reproduce_scheduling_table(6, workers=1, **kwargs)
+        par = reproduce_scheduling_table(6, workers=2, **kwargs)
+        assert par.rendering == seq.rendering
+        for n_tasks, cell in seq.data["cells"].items():
+            par_cell = par.data["cells"][n_tasks]
+            assert par_cell.aware_samples == cell.aware_samples
+            assert par_cell.unaware_samples == cell.unaware_samples
+            assert par_cell.mean_improvement == cell.mean_improvement
+
+
+class TestFaultRecoveryWorkers:
+    def test_parallel_arms_match_sequential(self):
+        kwargs = dict(seed=5, rounds=2, requests_per_round=6)
+        seq = run_fault_recovery(workers=1, **kwargs)
+        par = run_fault_recovery(workers=2, **kwargs)
+        assert _outcome_key(par.aware) == _outcome_key(seq.aware)
+        assert _outcome_key(par.unaware) == _outcome_key(seq.unaware)
+
+
+class TestTrustFaultWorkers:
+    def test_parallel_arms_match_sequential(self):
+        kwargs = dict(seed=5, rounds=2, requests_per_round=6)
+        seq = run_trustfault_study(workers=1, **kwargs)
+        par = run_trustfault_study(workers=3, **kwargs)
+        assert par.to_dict() == seq.to_dict()

@@ -163,3 +163,24 @@ class TestConstrainedSession:
                 assert rec.trust_cost <= 2
         # Learning good behaviour improves admission over the session.
         assert last.rejection_rate <= first.rejection_rate
+
+
+class TestTrustKernelInstrumentation:
+    def test_gamma_fleet_feeds_trust_metrics(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        grid = make_grid()
+        fleet = AgentFleet.for_table(grid.trust_table, gamma_weights=(0.7, 0.3))
+        metrics = MetricsRegistry(enabled=True)
+        session = make_session(grid=grid, fleet=fleet, metrics=metrics)
+        session.run(rounds=2, requests_per_round=8)
+        # The Γ engines are bound to the session registry, so every agent
+        # evaluation lands in the scalar-kernel latency histogram.
+        assert metrics.histogram("trust.gamma_latency_s.kernel=scalar").count > 0
+
+    def test_disabled_metrics_stay_silent(self):
+        grid = make_grid()
+        fleet = AgentFleet.for_table(grid.trust_table, gamma_weights=(0.7, 0.3))
+        session = make_session(grid=grid, fleet=fleet)
+        session.run(rounds=1, requests_per_round=8)
+        assert session.metrics.snapshot() == {}
