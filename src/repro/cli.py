@@ -27,6 +27,21 @@ from collections.abc import Sequence
 __all__ = ["main", "build_parser"]
 
 
+def _positive_int(text: str) -> int:
+    """Argparse type for flags that only make sense strictly positive."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {value}"
+        )
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -46,14 +61,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_table.add_argument("--seed", type=int, default=0, help="base seed")
     p_table.add_argument(
-        "--workers", type=int, default=None,
+        "--workers", type=_positive_int, default=None,
         help="replication-pool width for scheduling tables (default: every core)",
     )
 
     p_tables = sub.add_parser("tables", help="regenerate every paper table")
     p_tables.add_argument("--replications", type=int, default=10)
     p_tables.add_argument("--seed", type=int, default=0)
-    p_tables.add_argument("--workers", type=int, default=None)
+    p_tables.add_argument("--workers", type=_positive_int, default=None)
 
     sub.add_parser("sfi", help="Section-5.1 SFI sandboxing overheads")
     sub.add_parser("figure1", help="Figure-1 architecture diagram")
@@ -78,14 +93,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--output", default="reproduction_report.md")
     p_report.add_argument("--replications", type=int, default=10)
     p_report.add_argument("--seed", type=int, default=0)
-    p_report.add_argument("--workers", type=int, default=None)
+    p_report.add_argument("--workers", type=_positive_int, default=None)
 
     p_fam = sub.add_parser(
         "families", help="trust gains across the full heuristic family"
     )
     p_fam.add_argument("--replications", type=int, default=8)
     p_fam.add_argument("--tasks", type=int, default=50)
-    p_fam.add_argument("--workers", type=int, default=None)
+    p_fam.add_argument("--workers", type=_positive_int, default=None)
 
     p_abl = sub.add_parser(
         "ablations", help="ablate the reproduction-critical design choices"
@@ -119,7 +134,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution attempts before a request is dropped (default 3)",
     )
     p_faults.add_argument(
-        "--workers", type=int, default=None,
+        "--workers", type=_positive_int, default=None,
         help="run the policy arms in parallel processes (default: every core)",
     )
 
@@ -148,7 +163,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the machine-readable study JSON to this path",
     )
     p_tf.add_argument(
-        "--workers", type=int, default=None,
+        "--workers", type=_positive_int, default=None,
         help="run the study arms in parallel processes (default: every core)",
     )
 
@@ -222,6 +237,74 @@ def build_parser() -> argparse.ArgumentParser:
     p_prof.add_argument(
         "--output-dir", default=None,
         help="artifact directory (default profile-<scenario name>)",
+    )
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the always-on scheduling service over a scenario",
+    )
+    p_serve.add_argument(
+        "scenario",
+        nargs="?",
+        default="paper",
+        help=(
+            "a saved scenario JSON path, or 'paper' for the stock "
+            "Section-5.3 scenario (default)"
+        ),
+    )
+    p_serve.add_argument("--heuristic", default="min-min")
+    p_serve.add_argument("--tasks", type=_positive_int, default=200)
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument(
+        "--consistency", default="inconsistent",
+        choices=["consistent", "inconsistent", "semi-consistent"],
+    )
+    p_serve.add_argument(
+        "--policy", default="aware", choices=["aware", "unaware"],
+    )
+    p_serve.add_argument(
+        "--queue-capacity", type=_positive_int, default=None,
+        help="bound on the pending queue; overflowing arrivals are shed",
+    )
+    p_serve.add_argument(
+        "--rate", type=float, default=None,
+        help="token-bucket admission rate (requests per simulated second)",
+    )
+    p_serve.add_argument(
+        "--burst", type=float, default=1.0,
+        help="token-bucket burst capacity (default 1)",
+    )
+    p_serve.add_argument(
+        "--deadline", type=float, default=None,
+        help="shed queued requests waiting longer than this (simulated s)",
+    )
+    p_serve.add_argument(
+        "--backpressure-high", type=_positive_int, default=None,
+        help="backlog size that engages backpressure on ingestion",
+    )
+    p_serve.add_argument(
+        "--crash-prob", type=float, default=None,
+        help="inject per-attempt task crashes with this probability",
+    )
+    p_serve.add_argument(
+        "--mtbf", type=float, default=None,
+        help="inject machine failures with this mean time between failures",
+    )
+    p_serve.add_argument(
+        "--mttr", type=float, default=300.0,
+        help="mean repair time for injected machine failures (default 300)",
+    )
+    p_serve.add_argument(
+        "--trust-blackout", action="store_true",
+        help="run with the trust source dark (degraded trust-unaware pricing)",
+    )
+    p_serve.add_argument(
+        "--checkpoint-every", type=_positive_int, default=None,
+        help="take a boundary checkpoint every N windows",
+    )
+    p_serve.add_argument(
+        "--checkpoint-out", default=None,
+        help="write the final boundary checkpoint JSON to this path",
     )
     return parser
 
@@ -426,6 +509,8 @@ def _dispatch(args) -> int:
                 args.consistency, args.policy, args.output_dir,
             )
         )
+    elif args.command == "serve":
+        print(_cmd_serve(args))
     else:  # pragma: no cover - argparse guards
         return 2
     return 0
@@ -482,6 +567,99 @@ def _cmd_profile(
     paths = prof.write_artifacts(output_dir or f"profile-{name}")
     lines = [prof.report(), ""]
     lines += [f"{kind}: {path}" for kind, path in sorted(paths.items())]
+    return "\n".join(lines)
+
+
+def _cmd_serve(args) -> str:
+    from pathlib import Path
+
+    from repro.experiments import paper_policies, paper_spec
+    from repro.faults import FaultModel, MachineFailureModel, TaskFailureModel
+    from repro.metrics import format_percent, format_seconds
+    from repro.service import AdmissionPolicy, ServiceConfig, replay_scenario
+    from repro.service.checkpoint import save_checkpoint
+    from repro.trustfaults import TrustFaultModel, TrustSourceFault
+    from repro.workloads import Consistency, load_scenario, materialize
+
+    if args.scenario == "paper":
+        spec = paper_spec(args.tasks, Consistency.from_name(args.consistency))
+        scenario = materialize(spec, seed=args.seed)
+    elif Path(args.scenario).exists():
+        scenario = load_scenario(args.scenario)
+    else:
+        raise SystemExit(
+            f"unknown scenario {args.scenario!r}: pass a scenario JSON path "
+            "or 'paper'"
+        )
+
+    aware, unaware = paper_policies()
+    policy = aware if args.policy == "aware" else unaware
+    admission = AdmissionPolicy(
+        queue_capacity=args.queue_capacity,
+        rate=args.rate,
+        burst=args.burst,
+        deadline=args.deadline,
+    )
+    config = ServiceConfig(
+        admission=admission, backpressure_high=args.backpressure_high
+    )
+    faults = None
+    if args.crash_prob is not None or args.mtbf is not None:
+        faults = FaultModel(
+            tasks=(
+                TaskFailureModel(default_crash_prob=args.crash_prob)
+                if args.crash_prob is not None
+                else None
+            ),
+            machines=(
+                MachineFailureModel(mtbf=args.mtbf, mttr=args.mttr)
+                if args.mtbf is not None
+                else None
+            ),
+        )
+    trust_faults = (
+        TrustFaultModel(table=TrustSourceFault(blackout=True))
+        if args.trust_blackout
+        else None
+    )
+    result = replay_scenario(
+        scenario,
+        args.heuristic,
+        policy,
+        config=config,
+        faults=faults,
+        fault_seed=args.seed,
+        trust_faults=trust_faults,
+        checkpoint_every=args.checkpoint_every,
+    )
+    schedule = result.schedule
+    lines = [
+        f"service drained: {result.submitted} submitted, "
+        f"{result.admitted} admitted, {result.shed_total} shed over "
+        f"{result.windows} windows",
+        f"  completed {schedule.n_completed}  dropped {schedule.n_dropped}  "
+        f"failures {len(schedule.failures)}",
+        f"  makespan {format_seconds(schedule.effective_makespan)}  "
+        f"utilization {format_percent(schedule.machine_utilization)}",
+    ]
+    if result.shed:
+        shed = "  ".join(f"{k}={v}" for k, v in sorted(result.shed.items()))
+        lines.append(f"  shed breakdown: {shed}")
+    if result.backpressure_engagements:
+        lines.append(
+            f"  backpressure engaged {result.backpressure_engagements}x, "
+            f"released {result.backpressure_releases}x"
+        )
+    if result.watchdog_trips:
+        lines.append(f"  watchdog trips: {result.watchdog_trips}")
+    if args.checkpoint_out is not None:
+        if not result.checkpoint_payloads:
+            lines.append("  no checkpoints taken (see --checkpoint-every)")
+        else:
+            path = save_checkpoint(
+                result.checkpoint_payloads[-1], args.checkpoint_out
+            )
+            lines.append(f"  checkpoint written to {path}")
     return "\n".join(lines)
 
 

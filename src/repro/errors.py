@@ -21,6 +21,10 @@ __all__ = [
     "SimulationError",
     "EventOrderError",
     "WorkloadError",
+    "ServiceError",
+    "ServiceStalled",
+    "ServiceKilled",
+    "CheckpointError",
 ]
 
 
@@ -80,3 +84,31 @@ class EventOrderError(SimulationError):
 
 class WorkloadError(ReproError, ValueError):
     """A workload specification or generated matrix is invalid."""
+
+
+class ServiceError(ReproError):
+    """The always-on scheduling service reached an invalid state."""
+
+
+class ServiceStalled(ServiceError):
+    """The service watchdog detected a stuck window (fail-fast mode)."""
+
+
+class ServiceKilled(ServiceError):
+    """A service run was killed at a window boundary (crash emulation).
+
+    Raised by ``GridService.serve(..., kill_after_window=k)`` once window
+    ``k`` completes; carries the checkpoint taken at that boundary so
+    recovery tests can restore from exactly the crash point.
+
+    Attributes:
+        checkpoint: the boundary checkpoint payload (JSON-compatible dict).
+    """
+
+    def __init__(self, message: str, checkpoint: dict | None = None) -> None:
+        super().__init__(message)
+        self.checkpoint = checkpoint if checkpoint is not None else {}
+
+
+class CheckpointError(ServiceError):
+    """A service checkpoint could not be taken or restored."""

@@ -33,6 +33,7 @@ from repro.scheduling.registry import (
     make_heuristic,
     register_heuristic,
 )
+from repro.scheduling.engine import SchedulingEngine
 from repro.scheduling.result import CompletionRecord, ScheduleResult
 from repro.scheduling.sa import SwitchingHeuristic
 from repro.scheduling.scheduler import TRMScheduler
@@ -75,5 +76,6 @@ __all__ = [
     "is_batch",
     "CompletionRecord",
     "ScheduleResult",
+    "SchedulingEngine",
     "TRMScheduler",
 ]

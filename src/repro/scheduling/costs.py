@@ -442,6 +442,14 @@ class CostProvider:
         self._excluded.pop(request_index, None)
         self._row_cache.pop(request_index, None)
 
+    def all_exclusions(self) -> dict[int, frozenset[int]]:
+        """Every request's current machine exclusions (checkpoint view)."""
+        return {
+            idx: frozenset(machines)
+            for idx, machines in self._excluded.items()
+            if machines
+        }
+
     def invalidate_trust_cache(self, request_index: int) -> None:
         """Forget the cached TC row of one request.
 

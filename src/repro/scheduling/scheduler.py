@@ -44,13 +44,13 @@ from repro.errors import ConfigurationError, SchedulingError
 from repro.faults.injector import FaultInjector
 from repro.faults.records import FailureEvent
 from repro.faults.retry import RetryPolicy
-from repro.grid.machine import MachineState
-from repro.grid.request import MetaRequest, Request
+from repro.grid.request import Request
 from repro.grid.topology import Grid
 from repro.obs.metrics import MetricsRegistry
 from repro.scheduling.base import BatchHeuristic, ImmediateHeuristic
 from repro.scheduling.constraints import TrustConstraint
 from repro.scheduling.costs import CostProvider
+from repro.scheduling.engine import REASON_CONSTRAINT, SchedulingEngine
 from repro.scheduling.policy import TrustPolicy
 from repro.scheduling.result import CompletionRecord, ScheduleResult
 from repro.sim.events import Event, EventPriority
@@ -60,13 +60,10 @@ from repro.sim.trace import Tracer
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.trustfaults.query import ResilientTrustSource
 
-__all__ = ["TRMScheduler"]
+__all__ = ["TRMScheduler", "REASON_CONSTRAINT"]
 
 CompletionHook = Callable[[CompletionRecord], None]
 FailureHook = Callable[[FailureEvent], None]
-
-#: Reason tag recorded for constraint-driven rejections.
-REASON_CONSTRAINT = "constraint-infeasible"
 
 
 class TRMScheduler:
@@ -191,269 +188,31 @@ class TRMScheduler:
         The request list may be in any order; arrival times drive the run.
         Every request settles exactly once — completed, rejected by the
         admission constraint, or dropped after retry exhaustion.
+
+        The execution machinery lives in
+        :class:`~repro.scheduling.engine.SchedulingEngine`; this driver
+        schedules the arrivals, the batch-timer chain and the machine
+        up/down watch, then runs the simulation to completion.
         """
         sim = Simulator(metrics=self.metrics)
-        states = [MachineState(machine=m) for m in self.grid.machines]
-        records: dict[int, CompletionRecord] = {}
-        rejected: dict[int, str] = {}
-        dropped: list[int] = []
-        failures: list[FailureEvent] = []
-        attempts: dict[int, int] = {}
-        pending: list[Request] = []
-        settled = {"count": 0}
         total = len(requests)
-        batch_counter = {"count": 0}
-        if self.faults is not None:
-            self.faults.bind(self.grid)
-
-        def complete(
-            request: Request,
-            machine: int,
-            mapped_time: float,
-            start: float,
-            completion: float,
-            eec: float,
-            cost: float,
-            attempt: int,
-        ) -> None:
-            record = CompletionRecord(
-                request_index=request.index,
-                machine_index=machine,
-                arrival_time=request.arrival_time,
-                mapped_time=mapped_time,
-                start_time=start,
-                completion_time=completion,
-                eec=eec,
-                realized_cost=cost,
-                trust_cost=float(self.costs.trust_cost_row(request)[machine]),
-                attempt=attempt,
-            )
-            if request.index in records:
-                raise SchedulingError(
-                    f"request {request.index} was mapped twice"
-                )
-            records[request.index] = record
-            settled["count"] += 1
-            if self.metrics.enabled:
-                self.metrics.counter("sched.completions").add()
-            self.tracer.emit(
-                mapped_time,
-                "assign",
-                request=request.index,
-                machine=machine,
-                completion=completion,
-            )
-            if self.on_complete is not None:
-                sim.schedule(
-                    completion,
-                    lambda ev, rec=record: self.on_complete(rec),
-                    priority=EventPriority.COMPLETION,
-                )
-
-        def realize(request: Request, machine: int, mapped_time: float) -> None:
-            state = states[machine]
-            eec = float(self.costs.eec_row(request)[machine])
-            cost = float(self.costs.realized_ecc_row(request)[machine])
-            if self.faults is None:
-                start = max(state.available_time, mapped_time)
-                completion = state.assign(mapped_time, cost)
-                complete(
-                    request, machine, mapped_time, start, completion, eec, cost, 1
-                )
-                return
-
-            attempt = attempts.get(request.index, 0) + 1
-            attempts[request.index] = attempt
-            outcome = self.faults.attempt_outcome(
-                request_index=request.index,
-                machine_index=machine,
-                attempt=attempt,
-                begin=max(state.available_time, mapped_time),
-                cost=cost,
-            )
-            state.book_attempt(
-                outcome.executed, outcome.next_free, failed=outcome.failed
-            )
-            if not outcome.failed:
-                complete(
-                    request,
-                    machine,
-                    mapped_time,
-                    outcome.start_time,
-                    outcome.end_time,
-                    eec,
-                    cost,
-                    attempt,
-                )
-                return
-            failure = FailureEvent(
-                request_index=request.index,
-                machine_index=machine,
-                attempt=attempt,
-                start_time=outcome.start_time,
-                failure_time=outcome.end_time,
-                wasted_work=outcome.executed,
-                kind=outcome.failure,
-            )
-            failures.append(failure)
-            self.tracer.emit(
-                mapped_time,
-                "assign",
-                request=request.index,
-                machine=machine,
-                completion=outcome.end_time,
-            )
-            sim.schedule(
-                outcome.end_time,
-                lambda ev, f=failure, r=request: on_failed_attempt(ev, f, r),
-                priority=EventPriority.FAILURE,
-            )
-
-        def on_failed_attempt(
-            event: Event, failure: FailureEvent, request: Request
-        ) -> None:
-            assert self.retry is not None
-            self.tracer.emit(
-                event.time,
-                "failure",
-                request=failure.request_index,
-                machine=failure.machine_index,
-                attempt=failure.attempt,
-                cause=failure.kind.value,
-            )
-            if self.on_failure is not None:
-                self.on_failure(failure)
-            if not self.retry.should_retry(failure.attempt):
-                dropped.append(request.index)
-                settled["count"] += 1
-                if self.metrics.enabled:
-                    self.metrics.counter("sched.drops").add()
-                self.tracer.emit(
-                    event.time, "drop", request=request.index,
-                    attempts=failure.attempt,
-                )
-                return
-            # Re-price the retry: trust may have evolved since the original
-            # mapping, and the failed machine is excluded (best effort —
-            # relaxed if nothing finite would remain).
-            if self.trust_source is not None:
-                self.trust_source.advance(event.time)
-            self.costs.invalidate_trust_cache(request.index)
-            if self.retry.exclude_failed:
-                self.costs.exclude(request.index, failure.machine_index)
-                if not np.isfinite(self.costs.mapping_ecc_row(request)).any():
-                    self.costs.clear_exclusions(request.index)
-            sim.schedule(
-                event.time + self.retry.delay_for(failure.attempt),
-                lambda ev, r=request: dispatch(r, ev.time, retry=True),
-                priority=EventPriority.ARRIVAL,
-            )
-
-        def availability(now: float) -> np.ndarray:
-            alpha = np.array([s.available_time for s in states], dtype=np.float64)
-            return np.maximum(alpha, now)
-
-        def reject(request: Request, time: float) -> None:
-            rejected[request.index] = REASON_CONSTRAINT
-            settled["count"] += 1
-            if self.metrics.enabled:
-                self.metrics.counter("sched.rejections").add()
-            self.tracer.emit(time, "reject", request=request.index)
-
-        def dispatch(request: Request, time: float, *, retry: bool = False) -> None:
-            if self.trust_source is not None:
-                self.trust_source.advance(time)
-            if retry:
-                if self.metrics.enabled:
-                    self.metrics.counter("sched.retries").add()
-                self.tracer.emit(time, "retry", request=request.index)
-            if not self.costs.is_feasible(request):
-                reject(request, time)
-                return
-            if self.batch_interval is None:
-                with self.metrics.timer(self._latency_metric):
-                    machine = self.heuristic.choose(  # type: ignore[union-attr]
-                        request, self.costs, availability(time)
-                    )
-                if self.metrics.enabled:
-                    self.metrics.counter("sched.mappings").add()
-                self._check_machine(machine)
-                realize(request, machine, time)
-            else:
-                pending.append(request)
+        engine = SchedulingEngine(
+            self, sim, more_work=lambda: engine.settled < total
+        )
 
         def on_arrival(event: Event) -> None:
             request: Request = event.payload
             self.tracer.emit(event.time, "arrival", request=request.index)
-            dispatch(request, event.time)
+            engine.submit(request, event.time)
 
         def on_batch(event: Event) -> None:
-            if self.trust_source is not None:
-                self.trust_source.advance(event.time)
-            if pending:
-                meta = MetaRequest.of(
-                    pending, formed_at=event.time, index=batch_counter["count"]
-                )
-                batch_counter["count"] += 1
-                if self.metrics.enabled:
-                    self.metrics.counter("sched.batches").add()
-                    self.metrics.histogram("sched.batch_size").observe(len(meta))
-                self.tracer.emit(event.time, "batch", size=len(meta))
-                with self.metrics.timer(self._latency_metric):
-                    plan = self.heuristic.plan(  # type: ignore[union-attr]
-                        list(meta), self.costs, availability(event.time)
-                    )
-                if self.metrics.enabled:
-                    self.metrics.counter("sched.mappings").add(len(meta))
-                if len(plan) != len(meta):
-                    raise SchedulingError(
-                        f"{self.heuristic.name} planned {len(plan)} of "
-                        f"{len(meta)} requests"
-                    )
-                for item in sorted(plan, key=lambda p: p.order):
-                    self._check_machine(item.machine_index)
-                    realize(item.request, item.machine_index, event.time)
-                pending.clear()
-            if settled["count"] < total:
+            engine.form_batch(event.time)
+            if engine.settled < total:
                 sim.schedule(
                     event.time + self.batch_interval,
                     on_batch,
                     priority=EventPriority.BATCH,
                 )
-
-        # -- machine up/down transitions as first-class DES events ----------
-        # The injector's timelines are the source of truth (outcomes are
-        # resolved against them at booking time); these events mirror the
-        # transitions into the simulation so they are traceable and ordered
-        # against completions and arrivals.  The chain stops rescheduling
-        # once every request has settled, letting the run terminate.
-
-        def schedule_next_down(machine: int, after: float) -> None:
-            assert self.faults is not None
-            timeline = self.faults.timeline(machine)
-            assert timeline is not None
-            down_start, repair_end = timeline.first_down_at_or_after(after)
-            sim.schedule(
-                down_start,
-                lambda ev, m=machine, r=repair_end: on_machine_down(ev, m, r),
-                priority=EventPriority.MACHINE,
-            )
-
-        def on_machine_down(event: Event, machine: int, repair_end: float) -> None:
-            self.tracer.emit(
-                event.time, "machine-down", machine=machine, until=repair_end
-            )
-            if settled["count"] < total:
-                sim.schedule(
-                    repair_end,
-                    lambda ev, m=machine: on_machine_up(ev, m),
-                    priority=EventPriority.MACHINE,
-                )
-
-        def on_machine_up(event: Event, machine: int) -> None:
-            self.tracer.emit(event.time, "machine-up", machine=machine)
-            if settled["count"] < total:
-                schedule_next_down(machine, after=event.time)
 
         for request in requests:
             sim.schedule(
@@ -464,41 +223,18 @@ class TRMScheduler:
             )
         if self.batch_interval is not None and total > 0:
             sim.schedule(self.batch_interval, on_batch, priority=EventPriority.BATCH)
-        if (
-            self.faults is not None
-            and self.faults.model.machines is not None
-            and total > 0
-        ):
-            for machine in range(self.grid.n_machines):
-                schedule_next_down(machine, after=0.0)
+        if total > 0:
+            engine.start_machine_watch()
 
         sim.run()
 
-        if len(records) + len(rejected) + len(dropped) != total:
+        if len(engine.records) + len(engine.rejected) + len(engine.dropped) != total:
             raise SchedulingError(
-                f"run finished with {len(records)} completed + {len(rejected)} "
-                f"rejected + {len(dropped)} dropped of {total} requests"
+                f"run finished with {len(engine.records)} completed + "
+                f"{len(engine.rejected)} rejected + {len(engine.dropped)} "
+                f"dropped of {total} requests"
             )
-        ordered = tuple(
-            records[r.index]
-            for r in sorted(requests, key=lambda r: r.index)
-            if r.index in records
-        )
-        return ScheduleResult(
-            heuristic=self.heuristic.name,
-            policy_label=self.policy.label,
-            records=ordered,
-            machine_states=tuple(states),
-            rejected=tuple(sorted(rejected)),
-            rejection_reasons=dict(sorted(rejected.items())),
-            failures=tuple(
-                sorted(
-                    failures,
-                    key=lambda f: (f.failure_time, f.request_index, f.attempt),
-                )
-            ),
-            dropped=tuple(sorted(dropped)),
-        )
+        return engine.result(requests)
 
     def _check_machine(self, machine: int) -> None:
         if not 0 <= machine < self.grid.n_machines:

@@ -1,0 +1,73 @@
+"""Scheduler→ingestion backpressure with watermark hysteresis.
+
+The service tracks its *backlog* — requests admitted but not yet settled
+(pending in the queue, awaiting a failure event, or awaiting a retry).
+When the backlog crosses the high watermark the latch engages and the
+ingestion plane sheds new arrivals (``shed-backpressure``) until the
+scheduler drains the backlog below the low watermark.  The hysteresis gap
+prevents the latch from flapping once per request at the boundary.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+__all__ = ["BackpressureLatch"]
+
+
+class BackpressureLatch:
+    """A two-watermark latch over the service backlog.
+
+    Attributes:
+        high: backlog size at which the latch engages (inclusive).
+        low: backlog size at which it releases (inclusive); defaults to
+            half the high watermark.
+        engaged: whether ingestion is currently being pushed back on.
+        engagements: number of disengaged→engaged transitions.
+        releases: number of engaged→disengaged transitions.
+    """
+
+    __slots__ = ("high", "low", "engaged", "engagements", "releases")
+
+    def __init__(self, high: int, low: int | None = None) -> None:
+        if high < 1:
+            raise ConfigurationError("backpressure high watermark must be >= 1")
+        if low is None:
+            low = high // 2
+        if not 0 <= low < high:
+            raise ConfigurationError(
+                "backpressure low watermark must satisfy 0 <= low < high"
+            )
+        self.high = high
+        self.low = low
+        self.engaged = False
+        self.engagements = 0
+        self.releases = 0
+
+    def update(self, backlog: int) -> bool:
+        """Feed the current backlog; True iff the latch state changed."""
+        if not self.engaged and backlog >= self.high:
+            self.engaged = True
+            self.engagements += 1
+            return True
+        if self.engaged and backlog <= self.low:
+            self.engaged = False
+            self.releases += 1
+            return True
+        return False
+
+    # -- checkpoint ----------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """The latch's restorable state."""
+        return {
+            "engaged": self.engaged,
+            "engagements": self.engagements,
+            "releases": self.releases,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        self.engaged = bool(state["engaged"])
+        self.engagements = int(state["engagements"])
+        self.releases = int(state["releases"])

@@ -1,0 +1,177 @@
+"""Service checkpoints: schema, validation, and (de)serialisation.
+
+A checkpoint is a plain JSON-compatible dictionary capturing *everything*
+the service needs to resume a run from a window boundary with
+settled-exactly-once accounting: the epoch counter, the simulation clock
+and the next window's exact float time, settled accounting (completion
+records, rejections, drops, failure history), machine bookkeeping, the
+pending queue, in-flight recovery events (scheduled failure notifications
+and retry re-dispatches), cost-provider exclusions, admission/backpressure/
+watchdog state, the service counters, and — when a resilient trust plane is
+attached — its query clock, circuit-breaker state and RNG state.
+
+The payload is produced by :meth:`GridService.checkpoint
+<repro.service.service.GridService.checkpoint>` and consumed by
+:meth:`GridService.resume <repro.service.service.GridService.resume>`;
+this module owns the schema tag, structural validation, and the file
+round-trip.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.errors import CheckpointError
+
+__all__ = [
+    "CHECKPOINT_SCHEMA",
+    "validate_checkpoint",
+    "save_checkpoint",
+    "load_checkpoint",
+]
+
+#: Schema tag stamped into every checkpoint payload.
+CHECKPOINT_SCHEMA = "repro.service.checkpoint/v1"
+
+#: Top-level keys every v1 checkpoint must carry.
+_REQUIRED_KEYS = frozenset(
+    {
+        "schema",
+        "epoch",
+        "clock",
+        "next_window",
+        "heuristic",
+        "policy",
+        "window_interval",
+        "trust_epoch",
+        "machines",
+        "records",
+        "rejected",
+        "dropped",
+        "failures",
+        "attempts",
+        "batches_formed",
+        "pending",
+        "inflight_failures",
+        "inflight_retries",
+        "exclusions",
+        "admission",
+        "backpressure",
+        "watchdog",
+        "counters",
+    }
+)
+
+_RECORD_KEYS = frozenset(
+    {
+        "request_index",
+        "machine_index",
+        "arrival_time",
+        "mapped_time",
+        "start_time",
+        "completion_time",
+        "eec",
+        "realized_cost",
+        "trust_cost",
+        "attempt",
+    }
+)
+
+_FAILURE_KEYS = frozenset(
+    {
+        "request_index",
+        "machine_index",
+        "attempt",
+        "start_time",
+        "failure_time",
+        "wasted_work",
+        "kind",
+    }
+)
+
+_MACHINE_KEYS = frozenset(
+    {"available_time", "busy_time", "assigned_count", "failed_count"}
+)
+
+
+def validate_checkpoint(payload: Any) -> dict:
+    """Structurally validate a checkpoint payload.
+
+    Returns the payload unchanged when it is a well-formed v1 checkpoint;
+    raises :class:`~repro.errors.CheckpointError` otherwise.  Semantic
+    validation against a concrete service (matching heuristic, trust
+    epoch, …) happens in ``GridService.resume``.
+    """
+    if not isinstance(payload, dict):
+        raise CheckpointError(
+            f"checkpoint must be a dict, got {type(payload).__name__}"
+        )
+    schema = payload.get("schema")
+    if schema != CHECKPOINT_SCHEMA:
+        raise CheckpointError(
+            f"unsupported checkpoint schema {schema!r} "
+            f"(expected {CHECKPOINT_SCHEMA!r})"
+        )
+    missing = _REQUIRED_KEYS - payload.keys()
+    if missing:
+        raise CheckpointError(
+            f"checkpoint is missing keys: {sorted(missing)}"
+        )
+    for record in payload["records"].values():
+        bad = _RECORD_KEYS.symmetric_difference(record)
+        if bad:
+            raise CheckpointError(
+                f"malformed completion record in checkpoint (keys off by "
+                f"{sorted(bad)})"
+            )
+    for failure in list(payload["failures"]) + list(
+        payload["inflight_failures"].values()
+    ):
+        bad = _FAILURE_KEYS.symmetric_difference(failure)
+        if bad:
+            raise CheckpointError(
+                f"malformed failure event in checkpoint (keys off by "
+                f"{sorted(bad)})"
+            )
+    for machine in payload["machines"]:
+        bad = _MACHINE_KEYS.symmetric_difference(machine)
+        if bad:
+            raise CheckpointError(
+                f"malformed machine state in checkpoint (keys off by "
+                f"{sorted(bad)})"
+            )
+    if payload["epoch"] < 0:
+        raise CheckpointError("checkpoint epoch must be non-negative")
+    if payload["next_window"] < payload["clock"]:
+        raise CheckpointError(
+            "checkpoint next_window precedes its clock"
+        )
+    return payload
+
+
+def save_checkpoint(payload: dict, path: str | Path) -> Path:
+    """Validate ``payload`` and write it to ``path`` as JSON.
+
+    The write goes through a temporary sibling file and an atomic rename,
+    so a crash mid-write never leaves a truncated checkpoint behind.
+    """
+    validate_checkpoint(payload)
+    path = Path(path)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    tmp.replace(path)
+    return path
+
+
+def load_checkpoint(path: str | Path) -> dict:
+    """Read and validate a checkpoint previously saved to ``path``."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise CheckpointError(f"no checkpoint at {path}") from None
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(f"corrupt checkpoint at {path}: {exc}") from exc
+    return validate_checkpoint(payload)

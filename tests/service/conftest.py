@@ -1,0 +1,22 @@
+"""Shared fixtures for the service-plane tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import paper_spec
+from repro.workloads.eec import Consistency
+from repro.workloads.scenario import ScenarioSpec, materialize
+
+
+@pytest.fixture(scope="module")
+def table6_scenario():
+    """The full Table-6 workload: min-min's inconsistent LoLo, 100 tasks."""
+    return materialize(paper_spec(100, Consistency.INCONSISTENT), seed=42)
+
+
+@pytest.fixture(scope="module")
+def medium_scenario():
+    """A mid-size scenario for fault/recovery tests (40 tasks, 4 machines)."""
+    spec = ScenarioSpec(n_tasks=40, n_machines=4, target_load=3.0)
+    return materialize(spec, seed=9)

@@ -1,0 +1,146 @@
+"""The steady-state invariant: service ≡ batch scheduler, bit for bit.
+
+With faults off and unlimited admission, the service's cumulative schedule
+must be *bit-identical* to ``TRMScheduler.run`` on the same workload — the
+service drives the shared engine through the exact event sequence of the
+batch driver, so every mapped time, start time and realised cost matches
+exactly (no tolerance).  This is the acceptance invariant of the service
+plane, pinned here on the full Table-6 workload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import PAPER_BATCH_INTERVAL, paper_policies
+from repro.faults.injector import FaultInjector
+from repro.faults.model import (
+    FaultModel,
+    MachineFailureModel,
+    TaskFailureModel,
+)
+from repro.faults.retry import RetryPolicy
+from repro.scheduling import TRMScheduler, make_heuristic
+from repro.service import AdmissionPolicy, GridService, ServiceConfig
+
+
+def assert_bit_identical(service_result, batch_result):
+    """Field-by-field equality of the two schedules (no tolerances)."""
+    schedule = service_result.schedule
+    assert schedule.records == batch_result.records
+    assert schedule.rejected == batch_result.rejected
+    assert schedule.rejection_reasons == batch_result.rejection_reasons
+    assert schedule.dropped == batch_result.dropped
+    assert schedule.failures == batch_result.failures
+    for ours, theirs in zip(
+        schedule.machine_states, batch_result.machine_states
+    ):
+        assert ours.available_time == theirs.available_time
+        assert ours.busy_time == theirs.busy_time
+        assert ours.assigned_count == theirs.assigned_count
+        assert ours.failed_count == theirs.failed_count
+
+
+class TestSteadyStateInvariant:
+    def test_table6_min_min_bit_identical(self, table6_scenario):
+        """The headline invariant, on the full Table-6 scenario."""
+        sc = table6_scenario
+        aware, _ = paper_policies()
+        batch = TRMScheduler(
+            sc.grid, sc.eec, aware, make_heuristic("min-min"),
+            batch_interval=PAPER_BATCH_INTERVAL,
+        ).run(sc.requests)
+        service = GridService(
+            TRMScheduler(
+                sc.grid, sc.eec, aware, make_heuristic("min-min"),
+                batch_interval=PAPER_BATCH_INTERVAL,
+            )
+        )
+        result = service.serve(sc.requests)
+        assert_bit_identical(result, batch)
+        assert result.submitted == result.admitted == len(sc.requests)
+        assert result.shed == {}
+
+    def test_table6_trust_unaware_arm(self, table6_scenario):
+        sc = table6_scenario
+        _, unaware = paper_policies()
+        batch = TRMScheduler(
+            sc.grid, sc.eec, unaware, make_heuristic("min-min"),
+            batch_interval=PAPER_BATCH_INTERVAL,
+        ).run(sc.requests)
+        result = GridService(
+            TRMScheduler(
+                sc.grid, sc.eec, unaware, make_heuristic("min-min"),
+                batch_interval=PAPER_BATCH_INTERVAL,
+            )
+        ).serve(sc.requests)
+        assert_bit_identical(result, batch)
+
+    @pytest.mark.parametrize("heuristic", ["sufferage", "max-min"])
+    def test_other_batch_heuristics(self, medium_scenario, heuristic):
+        sc = medium_scenario
+        aware, _ = paper_policies()
+        batch = TRMScheduler(
+            sc.grid, sc.eec, aware, make_heuristic(heuristic),
+            batch_interval=PAPER_BATCH_INTERVAL,
+        ).run(sc.requests)
+        result = GridService(
+            TRMScheduler(
+                sc.grid, sc.eec, aware, make_heuristic(heuristic),
+                batch_interval=PAPER_BATCH_INTERVAL,
+            )
+        ).serve(sc.requests)
+        assert_bit_identical(result, batch)
+
+    def test_immediate_heuristic(self, medium_scenario):
+        """Immediate mode: the rolling window is pure housekeeping."""
+        sc = medium_scenario
+        aware, _ = paper_policies()
+        batch = TRMScheduler(
+            sc.grid, sc.eec, aware, make_heuristic("mct")
+        ).run(sc.requests)
+        result = GridService(
+            TRMScheduler(sc.grid, sc.eec, aware, make_heuristic("mct"))
+        ).serve(sc.requests)
+        assert_bit_identical(result, batch)
+
+    def test_unlimited_admission_under_faults(self, medium_scenario):
+        """Fault recovery is engine behaviour — the service adds nothing."""
+        sc = medium_scenario
+        aware, _ = paper_policies()
+        model = FaultModel(
+            tasks=TaskFailureModel(default_crash_prob=0.15),
+            machines=MachineFailureModel(mtbf=3000.0, mttr=300.0),
+        )
+
+        def scheduler():
+            return TRMScheduler(
+                sc.grid, sc.eec, aware, make_heuristic("min-min"),
+                batch_interval=PAPER_BATCH_INTERVAL,
+                faults=FaultInjector(model, rng=5),
+                retry=RetryPolicy(backoff_base=20.0),
+            )
+
+        batch = scheduler().run(sc.requests)
+        result = GridService(scheduler()).serve(sc.requests)
+        assert_bit_identical(result, batch)
+        assert len(result.schedule.failures) > 0
+
+    def test_explicitly_unlimited_policy_is_the_default(self, medium_scenario):
+        sc = medium_scenario
+        aware, _ = paper_policies()
+        config = ServiceConfig(admission=AdmissionPolicy.unlimited())
+        default = GridService(
+            TRMScheduler(
+                sc.grid, sc.eec, aware, make_heuristic("min-min"),
+                batch_interval=PAPER_BATCH_INTERVAL,
+            )
+        ).serve(sc.requests)
+        explicit = GridService(
+            TRMScheduler(
+                sc.grid, sc.eec, aware, make_heuristic("min-min"),
+                batch_interval=PAPER_BATCH_INTERVAL,
+            ),
+            config,
+        ).serve(sc.requests)
+        assert explicit.schedule.records == default.schedule.records

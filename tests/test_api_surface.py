@@ -25,6 +25,7 @@ PACKAGES = [
     "repro.metrics",
     "repro.experiments",
     "repro.analysis",
+    "repro.service",
 ]
 
 MODULES = [
@@ -45,8 +46,14 @@ MODULES = [
     "repro.obs.export",
     "repro.obs.invariants",
     "repro.obs.profile",
+    "repro.scheduling.engine",
     "repro.scheduling.esc_models",
     "repro.scheduling.fast",
+    "repro.service.admission",
+    "repro.service.backpressure",
+    "repro.service.checkpoint",
+    "repro.service.replay",
+    "repro.service.service",
     "repro.security.plan",
     "repro.experiments.cache",
     "repro.experiments.parallel",

@@ -14,6 +14,24 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["table", "10"])
 
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["table", "4", "--workers", "0"],
+            ["tables", "--workers", "0"],
+            ["report", "--workers", "-1"],
+            ["families", "--workers", "0"],
+            ["faults", "--workers", "-3"],
+            ["trustfaults", "--workers", "0"],
+        ],
+    )
+    def test_workers_must_be_positive(self, argv, capsys):
+        # Regression: 0/negative --workers used to reach the executor and
+        # crash there; argparse now rejects it up front.
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(argv)
+        assert "expected a positive integer" in capsys.readouterr().err
+
 
 class TestCommands:
     def test_table1(self, capsys):
@@ -102,6 +120,31 @@ class TestCommands:
     def test_profile_missing_scenario_errors(self, tmp_path):
         with pytest.raises(SystemExit):
             main(["profile", str(tmp_path / "nope.json")])
+
+    def test_serve_smoke(self, capsys):
+        assert main([
+            "serve", "--tasks", "30", "--seed", "1",
+            "--queue-capacity", "10",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "service drained" in out
+        assert "30 submitted" in out
+
+    def test_serve_writes_checkpoint(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "svc.json"
+        assert main([
+            "serve", "--tasks", "30", "--seed", "1",
+            "--checkpoint-every", "1", "--checkpoint-out", str(out_path),
+        ]) == 0
+        capsys.readouterr()
+        payload = json.loads(out_path.read_text())
+        assert payload["schema"] == "repro.service.checkpoint/v1"
+
+    def test_serve_unknown_scenario_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["serve", str(tmp_path / "missing.json")])
 
     def test_trustfaults_study(self, tmp_path, capsys):
         import json
