@@ -4,7 +4,7 @@ cost model, and the event-driven TRM scheduler."""
 
 from repro.scheduling.base import BatchHeuristic, ImmediateHeuristic, PlannedAssignment
 from repro.scheduling.constraints import InfeasiblePolicy, TrustConstraint
-from repro.scheduling.costs import CostProvider
+from repro.scheduling.costs import DEFAULT_CHUNK_TASKS, CostProvider
 from repro.scheduling.duplex import DuplexHeuristic
 from repro.scheduling.esc_models import EscModel, LadderEsc, LinearEsc, TableEsc
 from repro.scheduling.fast import (
@@ -36,6 +36,14 @@ from repro.scheduling.registry import (
 from repro.scheduling.engine import SchedulingEngine
 from repro.scheduling.result import CompletionRecord, ScheduleResult
 from repro.scheduling.sa import SwitchingHeuristic
+from repro.scheduling.scale import (
+    JIT_ENV,
+    HeapMaxMinHeuristic,
+    HeapMinMinHeuristic,
+    HeapSufferageHeuristic,
+    jit_available,
+    jit_requested,
+)
 from repro.scheduling.scheduler import TRMScheduler
 from repro.scheduling.sufferage import SufferageHeuristic
 
@@ -44,6 +52,7 @@ __all__ = [
     "ImmediateHeuristic",
     "PlannedAssignment",
     "CostProvider",
+    "DEFAULT_CHUNK_TASKS",
     "TrustConstraint",
     "InfeasiblePolicy",
     "DuplexHeuristic",
@@ -55,6 +64,12 @@ __all__ = [
     "FastMaxMinHeuristic",
     "FastMinMinHeuristic",
     "FastSufferageHeuristic",
+    "HeapMaxMinHeuristic",
+    "HeapMinMinHeuristic",
+    "HeapSufferageHeuristic",
+    "JIT_ENV",
+    "jit_available",
+    "jit_requested",
     "KpbHeuristic",
     "kpb_subset_size",
     "MaxMinHeuristic",

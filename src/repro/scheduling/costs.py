@@ -33,7 +33,7 @@ directly, as the paper's RMS does once a machine is committed.
 
 from __future__ import annotations
 
-from collections.abc import Callable, Sequence
+from collections.abc import Callable, Iterator, Sequence
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -50,10 +50,16 @@ from repro.scheduling.policy import TrustPolicy
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.trustfaults.query import ResilientTrustSource
 
-__all__ = ["CostProvider"]
+__all__ = ["CostProvider", "DEFAULT_CHUNK_TASKS"]
 
 #: Cache key of one trust-cost row: (client-domain index, sorted ToA indices).
 TcKey = tuple[int, tuple[int, ...]]
+
+#: Default task count per chunk of the streaming assembly: at 16 machines a
+#: chunk is ~1 MiB of float64 — large enough to amortise the per-chunk numpy
+#: dispatch, small enough that a million-task meta-request never allocates a
+#: dense ``n × m`` intermediate.
+DEFAULT_CHUNK_TASKS = 8192
 
 
 @dataclass
@@ -327,6 +333,39 @@ class CostProvider:
                 if excluded:
                     ecc[pos, list(excluded)] = np.inf
         return ecc
+
+    def mapping_ecc_chunks(
+        self,
+        requests: Sequence[Request],
+        *,
+        chunk_size: int | None = None,
+    ) -> Iterator[tuple[int, np.ndarray]]:
+        """Stream the believed ECC rows of ``requests`` in bounded memory.
+
+        Yields ``(start, chunk)`` pairs where ``chunk`` is the
+        :meth:`mapping_ecc_matrix` of ``requests[start:start + len(chunk)]``;
+        concatenating the chunks reproduces the dense matrix bit-for-bit,
+        but no ``(n, n_machines)`` array — nor any of the same-shaped
+        trust-cost / constraint-mask intermediates the dense assembly
+        allocates — ever materialises.  Trust-cost rows are still computed
+        once per unique pricing key: the key cache is shared across chunks,
+        so a key priced in chunk 0 is a dict lookup in every later chunk.
+
+        This is the assembly path of the heap-backed scale kernels in
+        :mod:`repro.scheduling.scale`; anything consuming it must reduce
+        each chunk (e.g. to per-row bests) before requesting the next one
+        for the memory bound to hold.
+
+        Args:
+            requests: the meta-request members.
+            chunk_size: tasks per chunk; defaults to
+                :data:`DEFAULT_CHUNK_TASKS`.
+        """
+        size = DEFAULT_CHUNK_TASKS if chunk_size is None else int(chunk_size)
+        if size < 1:
+            raise ConfigurationError("chunk_size must be >= 1")
+        for start in range(0, len(requests), size):
+            yield start, self.mapping_ecc_matrix(requests[start : start + size])
 
     def _tc_matrix(
         self, requests: Sequence[Request]

@@ -26,6 +26,12 @@ oracles (``_reference_plan``) the equivalence suite in
 trajectory is measured by ``benchmarks/bench_sched_kernel.py`` and pinned
 in ``BENCH_sched.json``.  They register under ``"min-min-fast"`` /
 ``"max-min-fast"`` / ``"sufferage-fast"`` / ``"kpb-fast"``.
+
+These kernels still materialise the full ``n × m`` cost matrix and rescan
+O(n) state per round; past ~10⁵ tasks use the heap-backed kernels in
+:mod:`repro.scheduling.scale` (``"min-min-heap"`` etc.), which stream the
+assembly chunk-by-chunk and are proven bit-identical to *these* kernels by
+``tests/scheduling/test_scale_equivalence.py``.
 """
 
 from __future__ import annotations

@@ -25,6 +25,11 @@ from repro.scheduling.met import MetHeuristic
 from repro.scheduling.minmin import MinMinHeuristic
 from repro.scheduling.olb import OlbHeuristic
 from repro.scheduling.sa import SwitchingHeuristic
+from repro.scheduling.scale import (
+    HeapMaxMinHeuristic,
+    HeapMinMinHeuristic,
+    HeapSufferageHeuristic,
+)
 from repro.scheduling.sufferage import SufferageHeuristic
 
 __all__ = [
@@ -47,10 +52,13 @@ _REGISTRY: dict[str, HeuristicFactory] = {
     "sa": SwitchingHeuristic,
     "min-min": MinMinHeuristic,
     "min-min-fast": FastMinMinHeuristic,
+    "min-min-heap": HeapMinMinHeuristic,
     "max-min": MaxMinHeuristic,
     "max-min-fast": FastMaxMinHeuristic,
+    "max-min-heap": HeapMaxMinHeuristic,
     "sufferage": SufferageHeuristic,
     "sufferage-fast": FastSufferageHeuristic,
+    "sufferage-heap": HeapSufferageHeuristic,
     "duplex": DuplexHeuristic,
 }
 

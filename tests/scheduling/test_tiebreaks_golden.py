@@ -19,6 +19,8 @@ Both the reference and the fast implementation are held to the same
 literals.
 """
 
+import hashlib
+
 import numpy as np
 import pytest
 
@@ -35,7 +37,13 @@ from repro.scheduling.kpb import KpbHeuristic, kpb_subset_size
 from repro.scheduling.maxmin import MaxMinHeuristic
 from repro.scheduling.minmin import MinMinHeuristic
 from repro.scheduling.policy import TrustPolicy
+from repro.scheduling.scale import (
+    HeapMaxMinHeuristic,
+    HeapMinMinHeuristic,
+    HeapSufferageHeuristic,
+)
 from repro.scheduling.sufferage import SufferageHeuristic
+from repro.workloads.scenario import ScenarioSpec, materialize
 
 # With the trust-unaware policy the mapping cost is EEC * 1.5 everywhere,
 # so the tie structure below is exactly the tie structure the heuristics
@@ -146,3 +154,60 @@ def test_kpb_subset_size_pinned():
     assert kpb_subset_size(3, 100.0) == 3
     assert kpb_subset_size(16, 25.0) == 4
     assert kpb_subset_size(1, 10.0) == 1  # never empty
+
+
+# -- large-scale hash goldens (n = 10⁴) ---------------------------------------
+#
+# At 10⁴ tasks the reference oracles are too slow to serve as in-test
+# oracles, so the full assignment sequence is pinned as a sha256 over
+# "request:machine" pairs instead: the fast kernels (proven bit-identical
+# to the references at small n) and the heap scale kernels must both hit
+# the same literal digest.  Any tie-break or float-path drift at scale —
+# where value collisions are plentiful — changes the digest.
+
+GOLDEN_SCALE_SPEC = dict(n_tasks=10_000, n_machines=16, seed=7)
+
+GOLDEN_SCALE_HASHES = {
+    "min-min": "cc5e08ec37bed4e8d130261818fa9ba63c9597748fcedddef602f876871523f1",
+    "max-min": "03907d74e63654698f324c8ee6f6307fa8010440269cebc40d04bb4f93965fa4",
+    "sufferage": "5220b5a580a9036a113f868b3c206d3d57629da6a8e959ec90dc19bb1fa1ad90",
+}
+
+
+def plan_digest(plan) -> str:
+    payload = ",".join(f"{p.request.index}:{p.machine_index}" for p in plan)
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+@pytest.fixture(scope="module")
+def scale_case():
+    spec = ScenarioSpec(
+        n_tasks=GOLDEN_SCALE_SPEC["n_tasks"],
+        n_machines=GOLDEN_SCALE_SPEC["n_machines"],
+        target_load=3.0,
+    )
+    scenario = materialize(spec, seed=GOLDEN_SCALE_SPEC["seed"])
+    costs = CostProvider(
+        grid=scenario.grid, eec=scenario.eec, policy=TrustPolicy(True)
+    )
+    return list(scenario.requests), costs
+
+
+@pytest.mark.parametrize(
+    "key,Heuristic",
+    [
+        ("min-min", FastMinMinHeuristic),
+        ("min-min", HeapMinMinHeuristic),
+        ("max-min", FastMaxMinHeuristic),
+        ("max-min", HeapMaxMinHeuristic),
+        ("sufferage", FastSufferageHeuristic),
+        ("sufferage", HeapSufferageHeuristic),
+    ],
+    ids=lambda v: v if isinstance(v, str) else v.__name__,
+)
+def test_scale_hash_goldens(scale_case, key, Heuristic):
+    requests, costs = scale_case
+    n_machines = GOLDEN_SCALE_SPEC["n_machines"]
+    plan = Heuristic().plan(requests, costs, np.zeros(n_machines))
+    assert len(plan) == GOLDEN_SCALE_SPEC["n_tasks"]
+    assert plan_digest(plan) == GOLDEN_SCALE_HASHES[key]
