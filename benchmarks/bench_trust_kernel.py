@@ -2,25 +2,35 @@
 
 Sweeps the batched Γ kernel (:meth:`TrustEngine.gamma_matrix`) against the
 scalar :meth:`TrustEngine.gamma` double loop over growing entity
-populations whose opinions follow the Table-6 OTL distribution, and
-records per-row wall times plus the speedup as a machine-readable JSON
-artifact at the repository root.  The sweep itself lives in
-:mod:`repro.experiments.trustbench` so ``repro-trms bench trust``
-regenerates the same artifact in one command.
+populations whose opinions follow the Table-6 OTL distribution, and — per
+size — times a *wholesale* re-evaluation (every Grid domain mutated, every
+shard rebuilt) against a *dirty-shard* re-evaluation (one domain mutated,
+one shard rebuilt, all other Γ sub-rows served from the epoch-keyed memo).
+The results land as a machine-readable JSON artifact at the repository
+root.  The sweep itself lives in :mod:`repro.experiments.trustbench` so
+``repro-trms bench trust`` regenerates the same artifact in one command.
 
-Two entry points:
+Three entry points:
 
 * ``test_trust_kernel_smoke`` — CI guard: runs the smallest size only and
   fails if the batched kernel falls behind the scalar reference by more
   than 1.5x (it should win by orders of magnitude; the slack absorbs
   CI-runner noise).  Bit-identity of the sampled rows is asserted inside
   the sweep.
+* ``test_trust_scale_smoke`` — opt-in via ``BENCH_TRUST_SCALE=1``: runs
+  the 10⁴-entity / 16-shard case and fails unless a dirty-shard re-eval
+  costs at most ``DIRTY_SMOKE_RATIO`` (0.2x) of a wholesale rebuild — the
+  regression-guard analogue of the 1.5x slowdown limit, with 2x slack
+  under the artifact's 10x acceptance floor.
 * ``test_trust_kernel_full_sweep`` — the real sweep; opt-in via
   ``BENCH_TRUST_FULL=1``.  Writes ``BENCH_trust.json``.
 
 The scalar reference walks the whole trust table per Γ call (cubic over a
-full surface), so it is timed on ``REFERENCE_ROWS`` truster rows and the
-comparison is per-row; see the trustbench module docstring.
+full surface), so it is timed on ``REFERENCE_ROWS`` truster rows, runs
+only up to ``SCALAR_CAP`` entities, and the comparison is per-row; above
+the cap the surfaces are evaluated on ``LARGE_TRUSTER_ROWS`` trusters and
+checked bit-identical against a from-scratch engine instead.  See the
+trustbench module docstring.
 """
 
 from __future__ import annotations
@@ -32,15 +42,20 @@ import pytest
 
 from repro.experiments.trustbench import (
     DEFAULT_ARTIFACT,
+    DIRTY_SMOKE_RATIO,
     SIZES,
     SMOKE_SLOWDOWN_LIMIT,
     render_sweep,
+    run_case,
     run_sweep,
     validate_trust_payload,
     write_artifact,
 )
 
 ARTIFACT = DEFAULT_ARTIFACT
+
+#: Entity count of the BENCH_TRUST_SCALE=1 smoke (16 crc32 shards).
+SCALE_SMOKE_ENTITIES = 10_000
 
 
 def test_trust_kernel_smoke():
@@ -58,6 +73,24 @@ def test_artifact_matches_schema():
     if not ARTIFACT.exists():
         pytest.skip(f"{ARTIFACT.name} not generated yet")
     validate_trust_payload(json.loads(ARTIFACT.read_text(encoding="utf-8")))
+
+
+@pytest.mark.skipif(
+    os.environ.get("BENCH_TRUST_SCALE") != "1",
+    reason="trust scale smoke is opt-in: BENCH_TRUST_SCALE=1",
+)
+def test_trust_scale_smoke():
+    """Dirty-shard re-eval must stay far cheaper than a wholesale rebuild."""
+    entry = run_case(SCALE_SMOKE_ENTITIES, repeats=2)
+    assert entry["n_shards"] >= 16, (
+        f"scale smoke expected >= 16 shards, got {entry['n_shards']}"
+    )
+    assert entry["dirty_s"] <= DIRTY_SMOKE_RATIO * entry["wholesale_s"], (
+        f"dirty-shard re-eval cost {entry['dirty_s']:.3f}s vs wholesale "
+        f"{entry['wholesale_s']:.3f}s at n_entities={entry['n_entities']} "
+        f"(ratio {entry['dirty_s'] / entry['wholesale_s']:.2f} > "
+        f"{DIRTY_SMOKE_RATIO:g})"
+    )
 
 
 @pytest.mark.skipif(

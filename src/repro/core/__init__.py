@@ -24,6 +24,7 @@ from repro.core.decay import (
     StepDecay,
 )
 from repro.core.direct import DirectTrust
+from repro.core.domains import DEFAULT_DOMAINS, DEFAULT_N_SHARDS, DomainMap
 from repro.core.engine import TrustEngine
 from repro.core.ets import EtsTable, TC_MAX, TC_MIN, expected_trust_supplement, trust_cost
 from repro.core.evolution import TransactionOutcome, TrustEvolver
@@ -43,6 +44,14 @@ from repro.core.persistence import (
 )
 from repro.core.recommender import AllianceRegistry, RecommenderWeights
 from repro.core.reputation import Reputation
+from repro.core.store import (
+    STORE_SCHEMA,
+    RestoredTrustPlane,
+    TrustStoreError,
+    load_manifest,
+    restore_trust_store,
+    snapshot_trust_store,
+)
 from repro.core.tables import (
     TrustRecord,
     TrustTable,
@@ -65,6 +74,9 @@ __all__ = [
     "DEFAULT_CONTEXTS",
     "ColumnarOpinionStore",
     "OpinionBlock",
+    "DomainMap",
+    "DEFAULT_DOMAINS",
+    "DEFAULT_N_SHARDS",
     "DecayFunction",
     "NoDecay",
     "ExponentialDecay",
@@ -92,6 +104,12 @@ __all__ = [
     "trust_table_from_dict",
     "save_trust_state",
     "load_trust_state",
+    "STORE_SCHEMA",
+    "TrustStoreError",
+    "RestoredTrustPlane",
+    "snapshot_trust_store",
+    "restore_trust_store",
+    "load_manifest",
     "RecommenderWeights",
     "TrustRecord",
     "TrustTable",

@@ -1,4 +1,4 @@
-"""Columnar mirror of :class:`~repro.core.tables.TrustTable`.
+"""Sharded columnar mirror of :class:`~repro.core.tables.TrustTable`.
 
 The Section-2 reputation average
 
@@ -10,32 +10,49 @@ trustee.  The scalar :meth:`~repro.core.reputation.Reputation.evaluate`
 walks a Python dict per query; at fleet scale (Γ-surface validation,
 per-completion evolution) that walk dominates the run.  This module keeps
 a *columnar* mirror of the trust table — parallel NumPy arrays of
-(recommender-index, trustee-index, context-index, value, last-transaction)
-plus a dense recommender-factor matrix — so the batched evaluators
+(recommender-index, trustee-index, context-index, value, last-transaction,
+recommender-factor) — so the batched evaluators
 (:meth:`Reputation.evaluate_many`, :meth:`TrustEngine.gamma_matrix`) can
 execute the reduce as a handful of vector operations.
 
-Bit-identity with the scalar path is a hard invariant, maintained by three
-properties of the layout:
+The mirror is **sharded by Grid domain**: every opinion about trustee
+``y`` lives in the array segment of ``y``'s domain (resolved through the
+table's :class:`~repro.core.domains.DomainMap`), and each segment records
+the per-domain mutation epoch it was built against.  :meth:`refresh` is a
+*delta* rebuild — only segments whose domain epoch moved are re-interned
+and re-sorted; clean segments (their arrays, context views, sorted pair
+indexes and factor columns) are reused as-is.  A single opinion mutation
+after a task settles therefore costs one shard, not the table.
 
-* rows are materialised in the table's **insertion order**, and
-  ``np.bincount`` accumulates its per-segment sums sequentially in array
-  order — exactly the order the scalar loop adds contributions;
+Bit-identity with the scalar path is a hard invariant, maintained by
+three properties of the layout:
+
+* within a shard, rows are materialised in the table's **insertion
+  order** (each domain bucket is an order-preserving subsequence of the
+  global record dict), and every opinion about a given trustee lives in
+  exactly one shard — so the sequential ``np.bincount`` accumulation per
+  trustee adds contributions in exactly the order the scalar loop does,
+  regardless of how shards are concatenated;
 * the per-opinion product ``value * factor * decay`` is formed with the
-  same association the scalar loop uses;
+  same association the scalar loop uses, and the per-row factor column is
+  produced by the *same scalar* ``weights.factor(z, y)`` calls;
 * decay multipliers come from the same :meth:`DecayFunction.apply`
   vectorised hook the scalar ``__call__`` routes through.
 
-The mirror is **epoch-versioned**: it records the source table's (and
-weight resolver's) mutation epochs at build time and rebuilds itself
-wholesale on :meth:`refresh` when either bumped — evolution updates,
-adversary injections and credibility purges all invalidate it without any
-fine-grained bookkeeping.
+Invalidation is epoch-mapped, not wholesale: array segments follow
+``table.domain_epoch``; factor columns follow a per-shard signature over
+the recommender/participant domains of that shard (learned-accuracy and
+alliance counters), so a credibility or alliance mutation in domain D
+touches only shards whose recommender set reaches into D.  A resolver
+that is ``None`` *or never mutated* (:attr:`RecommenderWeights.is_inert`)
+normalises to the same cache state — installing and removing an inert
+resolver does not invalidate anything.
 """
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+import itertools
+from collections.abc import Hashable, Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -46,14 +63,25 @@ from repro.core.tables import EntityId, TrustTable
 
 __all__ = ["ColumnarOpinionStore", "OpinionBlock"]
 
+# Monotonic store identities (never reused, unlike id()); the Γ memo keys
+# its structure version on these so swapping the store behind an engine
+# can never alias a previous store's epochs.
+_STORE_TOKENS = itertools.count(1)
+
+# Fixed radix of the (truster, trustee) pair keys.  Using a constant
+# rather than the current entity count keeps cached sorted pair indexes
+# valid while the global intern table keeps growing across delta rebuilds.
+_PAIR_BASE = np.int64(1) << np.int64(32)
+
 
 @dataclass(frozen=True, slots=True)
 class OpinionBlock:
     """Opinions about a set of requested trustees in one context.
 
-    Rows preserve the trust table's insertion order.  ``pos[i]`` maps
-    opinion ``i`` to the index of its trustee in the *requested* list, so
-    a segment-reduce over ``pos`` yields one aggregate per request.
+    Rows preserve the trust table's per-trustee insertion order (see the
+    module docstring).  ``pos[i]`` maps opinion ``i`` to the index of its
+    trustee in the *requested* list, so a segment-reduce over ``pos``
+    yields one aggregate per request.
 
     Attributes:
         truster: interned entity index of each opinion's holder.
@@ -61,6 +89,9 @@ class OpinionBlock:
         pos: index into the requested trustee list for each opinion.
         values: stored trust values ``RTT(z, y, c)``.
         times: last-transaction timestamps ``t_zy``.
+        factors: recommender trust factors ``R(z, y)`` per opinion,
+            computed by the store's weight resolver (all ``1.0`` when the
+            store has no resolver or an inert one).
     """
 
     truster: np.ndarray
@@ -68,67 +99,122 @@ class OpinionBlock:
     pos: np.ndarray
     values: np.ndarray
     times: np.ndarray
+    factors: np.ndarray
 
 
-class _ContextView:
-    """Per-context column slices plus a sorted pair index for DTT lookups."""
+class _ShardContextView:
+    """One shard's rows for one context, plus a sorted pair index."""
 
-    __slots__ = ("truster", "trustee", "values", "times", "_pair_keys", "_pair_order")
+    __slots__ = ("rows", "truster", "trustee", "values", "times", "_pair_keys", "_pair_order")
 
-    def __init__(
-        self,
-        truster: np.ndarray,
-        trustee: np.ndarray,
-        values: np.ndarray,
-        times: np.ndarray,
-    ) -> None:
-        self.truster = truster
-        self.trustee = trustee
-        self.values = values
-        self.times = times
+    def __init__(self, shard: "_Shard", rows: np.ndarray) -> None:
+        self.rows = rows
+        self.truster = shard.truster[rows]
+        self.trustee = shard.trustee[rows]
+        self.values = shard.values[rows]
+        self.times = shard.times[rows]
         self._pair_keys: np.ndarray | None = None
         self._pair_order: np.ndarray | None = None
 
-    def pair_index(self, n_entities: int) -> tuple[np.ndarray, np.ndarray]:
-        """Sorted ``truster * n + trustee`` keys and their argsort order."""
+    def pair_index(self) -> tuple[np.ndarray, np.ndarray]:
+        """Sorted ``truster * 2^32 + trustee`` keys and their argsort order."""
         if self._pair_keys is None:
-            keys = self.truster * np.int64(n_entities) + self.trustee
+            keys = self.truster * _PAIR_BASE + self.trustee
             order = np.argsort(keys, kind="stable")
             self._pair_keys = keys[order]
             self._pair_order = order
         return self._pair_keys, self._pair_order
 
 
+class _Shard:
+    """Array segment of one Grid domain (all opinions about its trustees)."""
+
+    __slots__ = (
+        "domain",
+        "built_epoch",
+        "truster",
+        "trustee",
+        "context",
+        "values",
+        "times",
+        "pairs",
+        "recommenders",
+        "participants",
+        "factors",
+        "factor_sig",
+        "sig_domains",
+        "views",
+    )
+
+    def __init__(
+        self,
+        domain: Hashable,
+        built_epoch: int,
+        truster: np.ndarray,
+        trustee: np.ndarray,
+        context: np.ndarray,
+        values: np.ndarray,
+        times: np.ndarray,
+        pairs: list[tuple[EntityId, EntityId]],
+        recommenders: tuple[EntityId, ...],
+        participants: tuple[EntityId, ...],
+    ) -> None:
+        self.domain = domain
+        self.built_epoch = built_epoch
+        self.truster = truster
+        self.trustee = trustee
+        self.context = context
+        self.values = values
+        self.times = times
+        self.pairs = pairs
+        self.recommenders = recommenders
+        self.participants = participants
+        self.factors: np.ndarray | None = None
+        self.factor_sig: tuple | None = None
+        # (weights token, alliances token, recommender domains, participant
+        # domains) — the resolved domain sets are recomputed only when the
+        # resolver or its registry is swapped for a different object.
+        self.sig_domains: tuple | None = None
+        self.views: dict[int, _ShardContextView] = {}
+
+
 class ColumnarOpinionStore:
-    """Array mirror of a :class:`TrustTable`, rebuilt on epoch change.
+    """Sharded array mirror of a :class:`TrustTable`, delta-rebuilt per domain.
 
     Attributes:
-        table: the mirrored trust table.
+        table: the mirrored trust table (owns the domain map).
         weights: optional recommender-factor resolver; when present its
-            epoch participates in invalidation and :meth:`factor_matrix`
-            provides the dense ``R(z, y)`` gather source.
+            per-domain epochs drive the factor-column invalidation and
+            each :class:`OpinionBlock` carries its ``R(z, y)`` factors.
+        token: monotonic store identity, never reused across instances.
     """
 
     def __init__(self, table: TrustTable, weights: RecommenderWeights | None = None):
         self.table = table
         self.weights = weights
-        self._built_epoch: tuple | None = None
+        self.token = next(_STORE_TOKENS)
         self._entities: list[EntityId] = []
         self._entity_index: dict[EntityId, int] = {}
         self._context_index: dict[TrustContext, int] = {}
-        self._views: dict[int, _ContextView] = {}
+        self._shards: dict[Hashable, _Shard] = {}
+        self._seen_table_epoch: int | None = None
         self._factor: np.ndarray | None = None
-        self.truster_idx = np.empty(0, dtype=np.int64)
-        self.trustee_idx = np.empty(0, dtype=np.int64)
-        self.context_idx = np.empty(0, dtype=np.int64)
-        self.values = np.empty(0, dtype=np.float64)
-        self.times = np.empty(0, dtype=np.float64)
+        self._factor_key: tuple | None = None
+
+    # -- versioning -------------------------------------------------------
+
+    def _weights_state(self) -> tuple | None:
+        """Normalised resolver state: ``None`` for no resolver *or* an
+        inert one (factor ≡ 1.0) — the two are the same cache state."""
+        w = self.weights
+        if w is None or w.is_inert:
+            return None
+        return w.epoch
 
     @property
     def epoch(self) -> tuple:
-        """Combined version token of the table and (if any) the weights."""
-        weights_epoch = self.weights.epoch if self.weights is not None else None
-        return (self.table.epoch, weights_epoch)
+        """Combined version token of the table and the (normalised) weights."""
+        return (self.table.epoch, self._weights_state())
 
     @property
     def n_entities(self) -> int:
@@ -136,84 +222,191 @@ class ColumnarOpinionStore:
         return len(self._entities)
 
     def entity_index_of(self, entity: EntityId) -> int | None:
-        """Interned index of ``entity``, or ``None`` if it holds no records."""
+        """Interned index of ``entity``, or ``None`` if never seen."""
         return self._entity_index.get(entity)
 
-    def refresh(self) -> bool:
-        """Rebuild the columns if the source epoch moved; returns whether it did."""
-        epoch = self.epoch
-        if epoch == self._built_epoch:
-            return False
-        entities: list[EntityId] = []
-        entity_index: dict[EntityId, int] = {}
-        context_index: dict[TrustContext, int] = {}
+    def set_weights(self, weights: RecommenderWeights | None) -> None:
+        """Swap the factor resolver without touching the array segments.
 
-        def intern(entity: EntityId) -> int:
-            idx = entity_index.get(entity)
-            if idx is None:
-                idx = len(entities)
-                entity_index[entity] = idx
-                entities.append(entity)
-            return idx
+        The arrays are weight-independent; only the per-shard factor
+        columns depend on the resolver, and their signatures notice the
+        swap on next access.  Swapping between ``None`` and an inert
+        resolver (in either direction) invalidates nothing.
+        """
+        self.weights = weights
 
-        n = len(self.table)
+    # -- delta rebuild ----------------------------------------------------
+
+    def refresh(self) -> int:
+        """Rebuild the shards whose domain epoch moved; returns how many.
+
+        Clean shards keep their arrays, context views, pair indexes and
+        factor columns.  Returns 0 (falsy, like the old wholesale
+        ``False``) when nothing changed.
+        """
+        table = self.table
+        if table.epoch == self._seen_table_epoch:
+            return 0
+        rebuilt = 0
+        present = table.domains_present()
+        present_set = set(present)
+        for domain in [d for d in self._shards if d not in present_set]:
+            del self._shards[domain]
+            rebuilt += 1
+        for domain in present:
+            shard = self._shards.get(domain)
+            built = table.domain_epoch(domain)
+            if shard is None or shard.built_epoch != built:
+                self._shards[domain] = self._build_shard(domain, built)
+                rebuilt += 1
+        self._seen_table_epoch = table.epoch
+        return rebuilt
+
+    def _build_shard(self, domain: Hashable, built_epoch: int) -> _Shard:
+        entities = self._entities
+        entity_index = self._entity_index
+        context_index = self._context_index
+        items = list(self.table.domain_records(domain))
+        n = len(items)
         truster = np.empty(n, dtype=np.int64)
         trustee = np.empty(n, dtype=np.int64)
         context = np.empty(n, dtype=np.int64)
         values = np.empty(n, dtype=np.float64)
         times = np.empty(n, dtype=np.float64)
-        for i, ((z, y, c), rec) in enumerate(self.table.items()):
-            truster[i] = intern(z)
-            trustee[i] = intern(y)
+        pairs: list[tuple[EntityId, EntityId]] = []
+        rec_seen: dict[EntityId, None] = {}
+        trustee_seen: dict[EntityId, None] = {}
+        for i, ((z, y, c), rec) in enumerate(items):
+            zi = entity_index.get(z)
+            if zi is None:
+                zi = len(entities)
+                entity_index[z] = zi
+                entities.append(z)
+            yi = entity_index.get(y)
+            if yi is None:
+                yi = len(entities)
+                entity_index[y] = yi
+                entities.append(y)
             ci = context_index.get(c)
             if ci is None:
                 ci = len(context_index)
                 context_index[c] = ci
+            truster[i] = zi
+            trustee[i] = yi
             context[i] = ci
             values[i] = rec.value
             times[i] = rec.last_transaction
-        self._entities = entities
-        self._entity_index = entity_index
-        self._context_index = context_index
-        self.truster_idx = truster
-        self.trustee_idx = trustee
-        self.context_idx = context
-        self.values = values
-        self.times = times
-        self._views = {}
-        self._factor = None
-        self._built_epoch = epoch
-        return True
+            pairs.append((z, y))
+            rec_seen[z] = None
+            trustee_seen[y] = None
+        participants = tuple(rec_seen) + tuple(
+            y for y in trustee_seen if y not in rec_seen
+        )
+        return _Shard(
+            domain=domain,
+            built_epoch=built_epoch,
+            truster=truster,
+            trustee=trustee,
+            context=context,
+            values=values,
+            times=times,
+            pairs=pairs,
+            recommenders=tuple(rec_seen),
+            participants=participants,
+        )
 
-    def _view(self, context_id: int) -> _ContextView:
-        view = self._views.get(context_id)
+    def _shard_view(self, shard: _Shard, context_id: int) -> _ShardContextView:
+        view = shard.views.get(context_id)
         if view is None:
-            rows = np.nonzero(self.context_idx == context_id)[0]
-            view = _ContextView(
-                truster=self.truster_idx[rows],
-                trustee=self.trustee_idx[rows],
-                values=self.values[rows],
-                times=self.times[rows],
-            )
-            self._views[context_id] = view
+            rows = np.nonzero(shard.context == context_id)[0]
+            view = _ShardContextView(shard, rows)
+            shard.views[context_id] = view
         return view
+
+    # -- factor columns ---------------------------------------------------
+
+    def _shard_factor_sig(self, shard: _Shard) -> tuple | None:
+        """Version of one shard's factor column; ``None`` ≡ factor 1.0.
+
+        Covers exactly the epochs that can change a factor in this shard:
+        the learned-accuracy counters of the shard's recommender domains
+        and the alliance counters of every participant's domain.  Domains
+        are resolved through the resolver's / registry's *own* maps, so
+        the signature stays sound even when table and weights disagree on
+        domain assignment.
+        """
+        w = self.weights
+        if w is None or w.is_inert:
+            return None
+        a = w.alliances
+        cached = shard.sig_domains
+        if cached is None or cached[0] != w.token or cached[1] != a.token:
+            wd: dict[Hashable, None] = {}
+            for z in shard.recommenders:
+                wd[w.domains.resolve(z)] = None
+            ad: dict[Hashable, None] = {}
+            for e in shard.participants:
+                ad[a.domains.resolve(e)] = None
+            cached = (w.token, a.token, tuple(wd), tuple(ad))
+            shard.sig_domains = cached
+        _, _, wd_domains, ad_domains = cached
+        return (
+            w.token,
+            a.token,
+            tuple(w.domain_epoch(d) for d in wd_domains),
+            tuple(a.domain_epoch(d) for d in ad_domains),
+        )
+
+    def _shard_factors(self, shard: _Shard) -> np.ndarray:
+        sig = self._shard_factor_sig(shard)
+        if shard.factors is None or shard.factor_sig != sig:
+            if sig is None:
+                shard.factors = np.ones(len(shard.pairs), dtype=np.float64)
+            else:
+                factor = self.weights.factor
+                shard.factors = np.array(
+                    [factor(z, y) for z, y in shard.pairs], dtype=np.float64
+                )
+            shard.factor_sig = sig
+        return shard.factors
+
+    def shard_signature(self, domain: Hashable) -> tuple:
+        """Version token of one domain's contribution to a Γ row.
+
+        Combines the table's domain epoch (which rows exist) with the
+        shard's factor signature (how they are weighted); equal
+        signatures guarantee identical Ω/Θ contributions from this
+        domain.  Valid only after :meth:`refresh`.
+        """
+        shard = self._shards.get(domain)
+        return (
+            self.table.domain_epoch(domain),
+            None if shard is None else self._shard_factor_sig(shard),
+        )
 
     def factor_matrix(self) -> np.ndarray:
         """Dense ``F[z, y] = weights.factor(entities[z], entities[y])``.
 
-        Requires the store to have been built with ``weights``.
+        Compatibility surface for diagnostics; the batched evaluators use
+        the per-row :attr:`OpinionBlock.factors` column instead (the
+        dense matrix is quadratic in the entity count).
         """
         if self.weights is None:
             raise ValueError("store was built without recommender weights")
-        if self._factor is None:
+        key = (len(self._entities), self._weights_state())
+        if self._factor is None or self._factor_key != key:
             self._factor = self.weights.factor_matrix(self._entities)
+            self._factor_key = key
         return self._factor
+
+    # -- gathers ----------------------------------------------------------
 
     def opinion_block(
         self, trustees: Sequence[EntityId], context: TrustContext
     ) -> OpinionBlock | None:
         """Gather every opinion about the given (distinct) trustees in ``context``.
 
+        Visits only the shards of the requested trustees' domains.
         Returns ``None`` when no requested trustee has any opinion in the
         context.  Call :meth:`refresh` first; ``trustees`` must not contain
         duplicates (dedup at the call site and scatter back).
@@ -221,26 +414,52 @@ class ColumnarOpinionStore:
         context_id = self._context_index.get(context)
         if context_id is None:
             return None
-        view = self._view(context_id)
+        table = self.table
+        groups: dict[Hashable, None] = {}
         pos_map = np.full(len(self._entities), -1, dtype=np.int64)
-        any_known = False
-        for j, trustee in enumerate(trustees):
-            idx = self._entity_index.get(trustee)
+        for j, y in enumerate(trustees):
+            groups[table.domain_of(y)] = None
+            idx = self._entity_index.get(y)
             if idx is not None:
                 pos_map[idx] = j
-                any_known = True
-        if not any_known or len(view.trustee) == 0:
+        parts: list[tuple[np.ndarray, ...]] = []
+        for domain in groups:
+            shard = self._shards.get(domain)
+            if shard is None:
+                continue
+            view = self._shard_view(shard, context_id)
+            if len(view.trustee) == 0:
+                continue
+            pos = pos_map[view.trustee]
+            sel = pos >= 0
+            if not sel.any():
+                continue
+            factors = self._shard_factors(shard)[view.rows]
+            parts.append(
+                (
+                    view.truster[sel],
+                    view.trustee[sel],
+                    pos[sel],
+                    view.values[sel],
+                    view.times[sel],
+                    factors[sel],
+                )
+            )
+        if not parts:
             return None
-        pos = pos_map[view.trustee]
-        sel = pos >= 0
-        if not sel.any():
-            return None
+        if len(parts) == 1:
+            truster, trustee, pos, values, times, factors = parts[0]
+        else:
+            truster, trustee, pos, values, times, factors = (
+                np.concatenate([p[k] for p in parts]) for k in range(6)
+            )
         return OpinionBlock(
-            truster=view.truster[sel],
-            trustee=view.trustee[sel],
-            pos=pos[sel],
-            values=view.values[sel],
-            times=view.times[sel],
+            truster=truster,
+            trustee=trustee,
+            pos=pos,
+            values=values,
+            times=times,
+            factors=factors,
         )
 
     def pair_block(
@@ -253,7 +472,8 @@ class ColumnarOpinionStore:
 
         All three arrays have shape ``(len(trusters), len(trustees))``;
         entries with ``found == False`` carry no record (the DTT
-        unknown-prior case).  Call :meth:`refresh` first.
+        unknown-prior case).  Each trustee's column is resolved against
+        its own domain shard.  Call :meth:`refresh` first.
         """
         n_x, n_y = len(trusters), len(trustees)
         values = np.zeros((n_x, n_y), dtype=np.float64)
@@ -262,25 +482,43 @@ class ColumnarOpinionStore:
         context_id = self._context_index.get(context)
         if context_id is None or n_x == 0 or n_y == 0:
             return values, times, found
-        view = self._view(context_id)
-        if len(view.trustee) == 0:
-            return values, times, found
-        n = len(self._entities)
+        table = self.table
+        trustee_list = list(trustees)
+        groups: dict[Hashable, list[int]] = {}
+        for j, y in enumerate(trustee_list):
+            groups.setdefault(table.domain_of(y), []).append(j)
         xid = np.array(
             [self._entity_index.get(x, -1) for x in trusters], dtype=np.int64
         )
-        yid = np.array(
-            [self._entity_index.get(y, -1) for y in trustees], dtype=np.int64
-        )
-        known = (xid[:, None] >= 0) & (yid[None, :] >= 0)
-        # Unknown entities get key -1, which cannot match (real keys are >= 0).
-        keys = np.where(known, xid[:, None] * np.int64(n) + yid[None, :], -1)
-        sorted_keys, order = view.pair_index(n)
-        pos = np.searchsorted(sorted_keys, keys)
-        pos_clipped = np.minimum(pos, len(sorted_keys) - 1)
-        hit = (pos < len(sorted_keys)) & (sorted_keys[pos_clipped] == keys)
-        rows = order[pos_clipped[hit]]
-        values[hit] = view.values[rows]
-        times[hit] = view.times[rows]
-        found = hit
+        for domain, js in groups.items():
+            shard = self._shards.get(domain)
+            if shard is None:
+                continue
+            view = self._shard_view(shard, context_id)
+            if len(view.trustee) == 0:
+                continue
+            cols = np.array(js, dtype=np.int64)
+            yid = np.array(
+                [self._entity_index.get(trustee_list[j], -1) for j in js],
+                dtype=np.int64,
+            )
+            known = (xid[:, None] >= 0) & (yid[None, :] >= 0)
+            # Unknown entities get key -1, which cannot match (real keys >= 0).
+            keys = np.where(
+                known, xid[:, None] * _PAIR_BASE + yid[None, :], np.int64(-1)
+            )
+            sorted_keys, order = view.pair_index()
+            pos = np.searchsorted(sorted_keys, keys)
+            clipped = np.minimum(pos, len(sorted_keys) - 1)
+            hit = (pos < len(sorted_keys)) & (sorted_keys[clipped] == keys)
+            if not hit.any():
+                continue
+            rows = order[clipped[hit]]
+            sub_values = np.zeros((n_x, len(js)), dtype=np.float64)
+            sub_times = np.zeros((n_x, len(js)), dtype=np.float64)
+            sub_values[hit] = view.values[rows]
+            sub_times[hit] = view.times[rows]
+            values[:, cols] = sub_values
+            times[:, cols] = sub_times
+            found[:, cols] = hit
         return values, times, found

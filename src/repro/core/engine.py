@@ -12,6 +12,7 @@ direct relationship with x than the reputation of y, α will be larger than
 
 from __future__ import annotations
 
+import itertools
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
@@ -31,6 +32,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["TrustEngine"]
+
+#: Monotonic source of trustee-tuple interning tokens (never recycled, so a
+#: token uniquely identifies one trustee set for the life of the process).
+_SUB_TOKEN_COUNTER = itertools.count(1)
 
 
 @dataclass
@@ -59,6 +64,26 @@ class TrustEngine:
     _memo_version: tuple | None = field(
         default=None, init=False, repr=False, compare=False
     )
+    # Interning map: per-domain trustee tuple -> small integer token.  Memo
+    # keys carry the token, so a lookup hashes a handful of scalars instead
+    # of a shard-sized tuple on every (truster, domain) probe.
+    _sub_tokens: dict = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    SUB_TOKEN_CAPACITY = 4096
+    # Domain-grouping cache: (store token, trustee tuple) -> prebuilt
+    # [(domain, sub, sub_token, cols)] groups.  Grouping depends only on
+    # the (immutable) domain map, so repeated surfaces over the same
+    # trustee population skip the per-call bucketing pass.
+    _group_cache: dict = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    GROUP_CACHE_CAPACITY = 64
+
+    # Upper bound on retained Γ sub-rows; oldest entries are evicted FIFO.
+    # Sub-rows are narrow (one truster × one domain's trustees), so the
+    # cap bounds memory without measurable hit-rate loss at bench scale.
+    MEMO_CAPACITY = 32768
 
     def __post_init__(self) -> None:
         if self.alpha < 0 or self.beta < 0:
@@ -110,11 +135,12 @@ class TrustEngine:
         self._metrics = registry
 
     def clear_memo(self) -> None:
-        """Drop every memoised Γ row.
+        """Drop every memoised Γ sub-row.
 
-        The memo already invalidates itself wholesale on any table / weights
-        epoch change; benchmarks clear it explicitly between repeats so the
-        timings measure the batched kernel rather than the cache.
+        The memo already invalidates itself per domain on epoch-map
+        changes (and wholesale on structural changes); benchmarks clear it
+        explicitly between repeats so the timings measure the batched
+        kernel rather than the cache.
         """
         self._memo.clear()
         self._memo_version = None
@@ -148,14 +174,17 @@ class TrustEngine:
     ) -> np.ndarray:
         """Batched ``Γ``: ``out[i, j] = gamma(trusters[i], trustees[j], ...)``.
 
-        Bit-identical to the scalar :meth:`gamma` per pair.  Θ is gathered
-        from the columnar DTT mirror in one shot; Ω shares a single
-        opinion gather across all trusters, applying each truster's
-        own-opinion exclusion as a mask over the common contribution
-        array.  Computed rows are memoised keyed by
-        ``(truster, trustees, context, now)`` and invalidated wholesale
-        whenever any underlying epoch (trust table, recommender weights,
-        alliances) or engine parameter changes.
+        Bit-identical to the scalar :meth:`gamma` per pair.  Trustees are
+        grouped by Grid domain; each group's Θ is gathered from that
+        domain's DTT shard and its Ω shares one opinion gather across all
+        trusters, applying each truster's own-opinion exclusion as a mask
+        over the common contribution array.  Computed **sub-rows** (one
+        truster × one domain's trustees) are memoised keyed by
+        ``(truster, domain, trustees, context, now)`` together with the
+        domain's shard signature — a mutation in domain D drops only the
+        sub-rows whose trustee or recommender set touches D, while
+        structural changes (α/β, priors, decay, store identity) still
+        clear the memo wholesale.
 
         Falls back to scalar evaluation per pair — never touching the
         memo — when a ``source_filter`` is installed on the reputation
@@ -199,9 +228,13 @@ class TrustEngine:
             dstore.refresh()
         rep_decay = self.reputation.decay_for(context)
         dir_decay = self.direct.decay_for(context)
+        # Structural version: identity of the array mirrors (monotonic
+        # tokens, never recycled ids) plus every engine parameter that
+        # enters the Γ formula.  Epoch-map changes are handled per domain
+        # below; a structural change clears the memo wholesale.
         version = (
-            store.epoch,
-            None if dstore is store else dstore.epoch,
+            store.token,
+            None if dstore is store else dstore.token,
             self.alpha,
             self.beta,
             self.direct.unknown_prior,
@@ -215,36 +248,97 @@ class TrustEngine:
                 if metrics is not None:
                     metrics.counter("trust.memo_invalidations").add()
             self._memo_version = version
-        suffix = (tuple(trustee_list), context, now)
-        missing: list[EntityId] = []
-        missing_rows: list[int] = []
-        for i, truster in enumerate(truster_list):
-            row = self._memo.get((truster, *suffix))
-            if row is None:
-                missing.append(truster)
-                missing_rows.append(i)
+        # Group trustees by Grid domain (first-appearance order).
+        table = store.table
+        group_key = (store.token, tuple(trustee_list))
+        groups = self._group_cache.get(group_key)
+        if groups is None:
+            dom_groups: dict = {}
+            for j, trustee in enumerate(trustee_list):
+                dom_groups.setdefault(table.domain_of(trustee), []).append(j)
+            groups = []
+            for domain, js in dom_groups.items():
+                sub = tuple(trustee_list[j] for j in js)
+                sub_token = self._sub_tokens.get(sub)
+                if sub_token is None:
+                    # Re-tokenising after an eviction orphans old memo
+                    # entries (they can never match again) — harmless: the
+                    # memo's own FIFO cap reclaims them.
+                    if len(self._sub_tokens) >= self.SUB_TOKEN_CAPACITY:
+                        self._sub_tokens.clear()
+                    # Monotonic (never reused after a clear): a recycled
+                    # token could alias a different trustee set still keyed
+                    # in the memo.
+                    sub_token = next(_SUB_TOKEN_COUNTER)
+                    self._sub_tokens[sub] = sub_token
+                groups.append((domain, sub, sub_token, np.array(js, dtype=np.int64)))
+            if len(self._group_cache) >= self.GROUP_CACHE_CAPACITY:
+                self._group_cache.clear()
+            self._group_cache[group_key] = groups
+        hits = 0
+        stale = 0
+        computed = 0
+        memo = self._memo
+        scalar_replay = False
+        # Context identity is its name (a str with a cached hash) — cheaper
+        # per memo probe than the frozen dataclass's generated __hash__.
+        ctx_name = context.name
+        for domain, sub, sub_token, cols in groups:
+            if dstore is store:
+                sig = (store.shard_signature(domain),)
             else:
-                out[i] = row
-        hits = n_x - len(missing)
-        if metrics is not None and hits:
-            metrics.counter("trust.memo_hits").add(hits)
-        if missing:
-            rows = self._gamma_rows(
-                missing, trustee_list, context, now, store, dstore, rep_decay, dir_decay
-            )
-            if rows is None:
-                # A contributing record is future-dated: replay the scalar
-                # loops, which raise the exact error for the first offender.
-                for i, truster in enumerate(truster_list):
-                    for j, trustee in enumerate(trustee_list):
-                        out[i, j] = self._gamma_unmetered(truster, trustee, context, now)
-                return out
-            for truster, i, row in zip(missing, missing_rows, rows):
-                row.setflags(write=False)
-                self._memo[(truster, *suffix)] = row
-                out[i] = row
-            if metrics is not None:
-                metrics.counter("trust.batch_rows").add(len(missing))
+                # Θ comes from a different table: its records for these
+                # trustees live in the *direct* table's domain shards.
+                ddomains: dict = {}
+                for trustee in sub:
+                    ddomains[dstore.table.domain_of(trustee)] = None
+                sig = (
+                    store.shard_signature(domain),
+                    tuple(dstore.shard_signature(d) for d in ddomains),
+                )
+            missing: list[tuple[int, EntityId]] = []
+            for i, truster in enumerate(truster_list):
+                key = (truster, domain, sub_token, ctx_name, now)
+                entry = memo.get(key)
+                if entry is not None:
+                    if entry[0] == sig:
+                        out[i, cols] = entry[1]
+                        hits += 1
+                        continue
+                    del memo[key]
+                    stale += 1
+                missing.append((i, truster))
+            if missing:
+                rows = self._gamma_rows(
+                    [x for _, x in missing], list(sub), context, now,
+                    store, dstore, rep_decay, dir_decay,
+                )
+                if rows is None:
+                    scalar_replay = True
+                    break
+                computed += len(missing)
+                for (i, truster), row in zip(missing, rows):
+                    row.setflags(write=False)
+                    memo[(truster, domain, sub_token, ctx_name, now)] = (sig, row)
+                    out[i, cols] = row
+        if scalar_replay:
+            # A contributing record is future-dated: replay the scalar
+            # loops, which raise the exact error for the first offender.
+            for i, truster in enumerate(truster_list):
+                for j, trustee in enumerate(trustee_list):
+                    out[i, j] = self._gamma_unmetered(truster, trustee, context, now)
+            return out
+        if len(memo) > self.MEMO_CAPACITY:
+            evict = len(memo) - self.MEMO_CAPACITY
+            for key in list(itertools.islice(iter(memo), evict)):
+                del memo[key]
+        if metrics is not None:
+            if hits:
+                metrics.counter("trust.memo_hits").add(hits)
+            if stale:
+                metrics.counter("trust.memo_invalidations").add(stale)
+            if computed:
+                metrics.counter("trust.batch_rows").add(computed)
         return out
 
     def _direct_store(self) -> ColumnarOpinionStore:
@@ -294,7 +388,7 @@ class TrustEngine:
         if block is not None:
             ages = now - block.times
             negative = ages < 0
-            weights = store.factor_matrix()[block.truster, block.trustee]
+            weights = block.factors
             nonzero = weights != 0.0
             contrib = np.zeros_like(ages)
             valid = ~negative

@@ -16,14 +16,23 @@ accuracy.
 
 from __future__ import annotations
 
+import itertools
 from collections.abc import Hashable, Iterable, Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.domains import DEFAULT_DOMAINS, DomainMap
+
 __all__ = ["AllianceRegistry", "RecommenderWeights"]
 
 EntityId = Hashable
+
+# Monotonic instance tokens.  Epoch tuples must identify *which* registry /
+# weights object they were computed against; ``id()`` is unsafe for that
+# because CPython reuses addresses after garbage collection, which would
+# silently suppress an invalidation.  A process-wide counter never repeats.
+_INSTANCE_TOKENS = itertools.count(1)
 
 
 class AllianceRegistry:
@@ -33,26 +42,44 @@ class AllianceRegistry:
     the same group is allied.  An entity may belong to several groups.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, domains: DomainMap = DEFAULT_DOMAINS) -> None:
+        self.domains = domains
         self._groups: dict[str, set[EntityId]] = {}
         # Inverted index entity -> group names; alliance checks sit on the
         # reputation hot path (one per recommender per Γ evaluation), so
         # membership must resolve without scanning every declared group.
         self._membership: dict[EntityId, set[str]] = {}
         self._epoch = 0
+        self._domain_epochs: dict[Hashable, int] = {}
+        self.token = next(_INSTANCE_TOKENS)
 
     @property
     def epoch(self) -> int:
         """Monotonic mutation counter bumped by :meth:`declare`/:meth:`dissolve`."""
         return self._epoch
 
+    def domain_epoch(self, domain: Hashable) -> int:
+        """Mutation counter of one Grid domain (0 if never touched).
+
+        Declaring or dissolving a group bumps the domain of every member
+        involved, so a shard whose entities' domains all show unchanged
+        counters is guaranteed to see identical ``allied`` answers.
+        """
+        return self._domain_epochs.get(domain, 0)
+
+    def _bump_domains(self, members: Iterable[EntityId]) -> None:
+        for domain in {self.domains.resolve(m) for m in members}:
+            self._domain_epochs[domain] = self._domain_epochs.get(domain, 0) + 1
+
     def declare(self, name: str, members: Iterable[EntityId]) -> None:
         """Create or extend the alliance ``name`` with ``members``."""
         group = self._groups.setdefault(name, set())
+        members = list(members)
         for member in members:
             group.add(member)
             self._membership.setdefault(member, set()).add(name)
         self._epoch += 1
+        self._bump_domains(members)
 
     def dissolve(self, name: str) -> None:
         """Remove an alliance group entirely; raises ``KeyError`` if absent."""
@@ -63,6 +90,7 @@ class AllianceRegistry:
             if not names:
                 del self._membership[member]
         self._epoch += 1
+        self._bump_domains(group)
 
     def allied(self, a: EntityId, b: EntityId) -> bool:
         """Whether ``a`` and ``b`` share at least one alliance group."""
@@ -135,8 +163,12 @@ class RecommenderWeights:
     ally_weight: float = 0.5
     default_accuracy: float = 1.0
     learning_rate: float = 0.1
+    domains: DomainMap = DEFAULT_DOMAINS
     _accuracy: dict[EntityId, float] = field(default_factory=dict, repr=False)
     _epoch: int = field(default=0, repr=False, compare=False)
+    _domain_epochs: dict[Hashable, int] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.ally_weight <= 1.0:
@@ -145,6 +177,7 @@ class RecommenderWeights:
             raise ValueError("default_accuracy must lie in [0, 1]")
         if not 0.0 < self.learning_rate <= 1.0:
             raise ValueError("learning_rate must lie in (0, 1]")
+        self.token = next(_INSTANCE_TOKENS)
 
     @property
     def epoch(self) -> tuple:
@@ -152,9 +185,35 @@ class RecommenderWeights:
 
         Changes whenever anything that can alter a :meth:`factor` result
         changes: learned accuracies (:meth:`observe_outcome`) or the
-        alliance registry (declare/dissolve or wholesale replacement).
+        alliance registry (declare/dissolve or wholesale replacement —
+        tracked by the registry's monotonic ``token``, never ``id()``,
+        which CPython may reuse).
         """
-        return (self._epoch, id(self.alliances), self.alliances.epoch)
+        return (self._epoch, self.alliances.token, self.alliances.epoch)
+
+    @property
+    def is_inert(self) -> bool:
+        """Whether this resolver is indistinguishable from no weights at all.
+
+        True when :meth:`factor` is identically ``1.0``: no accuracy has
+        ever been learned, no alliance group exists, and the default
+        accuracy is 1.  The reputation evaluators treat ``weights=None``
+        as weight-1 recommenders, so an inert resolver and ``None`` are
+        the *same* cache state — epoch keys normalise through this.
+        """
+        return (
+            not self._accuracy
+            and not self.alliances._groups
+            and self.default_accuracy == 1.0
+        )
+
+    def domain_epoch(self, domain: Hashable) -> tuple:
+        """Composite per-domain version: own learned-accuracy counter for
+        ``domain`` plus the alliance registry's counter for it."""
+        return (
+            self._domain_epochs.get(domain, 0),
+            self.alliances.domain_epoch(domain),
+        )
 
     def factor(self, recommender: EntityId, target: EntityId) -> float:
         """Return ``R(recommender, target)`` in ``[0, 1]``."""
@@ -203,4 +262,6 @@ class RecommenderWeights:
         new = (1.0 - self.learning_rate) * old + self.learning_rate * sample
         self._accuracy[recommender] = new
         self._epoch += 1
+        domain = self.domains.resolve(recommender)
+        self._domain_epochs[domain] = self._domain_epochs.get(domain, 0) + 1
         return new

@@ -121,13 +121,13 @@ class Reputation:
         different objects; call ``refresh()`` on it before reading arrays.
         """
         store = self._store
-        if (
-            store is None
-            or store.table is not self.table
-            or store.weights is not self.weights
-        ):
+        if store is None or store.table is not self.table:
             store = ColumnarOpinionStore(self.table, self.weights)
             self._store = store
+        elif store.weights is not self.weights:
+            # Swapping the resolver keeps the (weight-independent) array
+            # shards; only factor columns whose signature moved recompute.
+            store.set_weights(self.weights)
         return store
 
     def evaluate_many(
@@ -176,13 +176,13 @@ class Reputation:
         block = store.opinion_block(unique, context)
         if block is None:
             return out[inverse]
-        truster, trustee_ids, pos = block.truster, block.trustee, block.pos
-        values, times = block.values, block.times
+        truster, pos = block.truster, block.pos
+        values, times, factors = block.values, block.times, block.factors
         asker_id = store.entity_index_of(asking)
         if asker_id is not None:
             keep = truster != asker_id
-            truster, trustee_ids, pos = truster[keep], trustee_ids[keep], pos[keep]
-            values, times = values[keep], times[keep]
+            truster, pos = truster[keep], pos[keep]
+            values, times, factors = values[keep], times[keep], factors[keep]
         ages = now - times
         if np.any(ages < 0):
             # Delegate to the scalar loop, which raises the exact error
@@ -191,7 +191,7 @@ class Reputation:
                 [self.evaluate(y, context, now, asking=asking) for y in trustee_list],
                 dtype=np.float64,
             )
-        weights = store.factor_matrix()[truster, trustee_ids]
+        weights = factors
         nonzero = weights != 0.0
         decayed = self.decay_for(context).apply(ages)
         contrib = values * weights * decayed

@@ -1,0 +1,412 @@
+"""Zero-copy persistent trust store (``repro.trust.store/v1``).
+
+A long-running Grid service must recover its trust plane after a restart
+without replaying the transaction history that produced it.  This module
+snapshots a :class:`~repro.core.tables.TrustTable` (and optionally its
+learned :class:`~repro.core.recommender.RecommenderWeights`) to disk in
+the same shape the sharded columnar mirror keeps in memory — **one
+fixed-dtype binary segment per Grid-domain shard per column**, with a
+JSON manifest carrying the shard epochs and a SHA-256 digest per segment.
+The layout follows tahoe-lafs' grid-manager certificate discipline:
+durable per-domain state files plus a signed-by-digest index, so partial
+or tampered snapshots are *refused*, never silently repaired.
+
+On restore the column segments are opened with ``numpy.memmap`` in
+read-only mode — the shard arrays of the rebuilt
+:class:`~repro.core.columnar.ColumnarOpinionStore` alias the on-disk
+pages directly (zero copy, lazily paged in), skipping the per-row
+re-interning and re-sorting a cold build would pay.  The dict-level
+:class:`TrustTable` is replayed domain by domain so the scalar oracle
+surface works identically; per-trustee opinion order is preserved (every
+opinion about ``y`` lives in ``y``'s domain segment, in insertion order),
+which is exactly the order the reputation average accumulates in — the
+restored Γ surface is bit-identical to one computed before the snapshot.
+The only observable difference is diagnostic: the scalar first-offender
+``ValueError`` for future-dated records may name a different offender,
+because the *global* interleave of records across domains is not part of
+the persisted state.
+
+On-disk layout (all integers ``<i8``, all floats ``<f8``, little-endian):
+
+.. code-block:: text
+
+    <dir>/manifest.json                     repro.trust.store/v1
+    <dir>/shard-<k>.<column>.bin            6 columns per shard:
+        truster, trustee, context           indices into manifest lists
+        value, time                         float payload
+        txcount                             TrustRecord.transaction_count
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections.abc import Hashable
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.core.columnar import ColumnarOpinionStore, _Shard
+from repro.core.context import TrustContext
+from repro.core.domains import DomainMap
+from repro.core.recommender import AllianceRegistry, RecommenderWeights
+from repro.core.tables import TrustTable
+from repro.errors import TrustModelError
+
+__all__ = [
+    "STORE_SCHEMA",
+    "TrustStoreError",
+    "RestoredTrustPlane",
+    "snapshot_trust_store",
+    "load_manifest",
+    "restore_trust_store",
+]
+
+STORE_SCHEMA = "repro.trust.store/v1"
+
+_COLUMNS = (
+    ("truster", "<i8"),
+    ("trustee", "<i8"),
+    ("context", "<i8"),
+    ("value", "<f8"),
+    ("time", "<f8"),
+    ("txcount", "<i8"),
+)
+
+
+class TrustStoreError(TrustModelError):
+    """A persistent trust-store snapshot is missing, malformed or corrupt."""
+
+
+def _sha256(path: Path) -> str:
+    digest = hashlib.sha256()
+    with path.open("rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _weights_to_dict(weights: RecommenderWeights) -> dict[str, Any]:
+    payload: dict[str, Any] = {
+        "ally_weight": weights.ally_weight,
+        "default_accuracy": weights.default_accuracy,
+        "learning_rate": weights.learning_rate,
+        "accuracy": dict(weights._accuracy),
+        "alliances": {
+            name: sorted(weights.alliances._groups[name])
+            for name in sorted(weights.alliances._groups)
+        },
+    }
+    purged = getattr(weights, "_purged", None)
+    if purged is not None:
+        payload["credibility"] = {
+            "purge_threshold": weights.purge_threshold,
+            "min_observations": weights.min_observations,
+            "observations": dict(weights._observations),
+            "purged": sorted(purged),
+        }
+    return payload
+
+
+def _weights_from_dict(
+    data: dict[str, Any], domains: DomainMap
+) -> RecommenderWeights:
+    alliances = AllianceRegistry(domains=domains)
+    for name, members in data.get("alliances", {}).items():
+        alliances.declare(name, members)
+    cred = data.get("credibility")
+    if cred is not None:
+        from repro.trustfaults.credibility import CredibilityWeights
+
+        weights: RecommenderWeights = CredibilityWeights(
+            alliances=alliances,
+            ally_weight=float(data["ally_weight"]),
+            default_accuracy=float(data["default_accuracy"]),
+            learning_rate=float(data["learning_rate"]),
+            domains=domains,
+            purge_threshold=float(cred["purge_threshold"]),
+            min_observations=int(cred["min_observations"]),
+        )
+        weights._observations.update(
+            {e: int(n) for e, n in cred["observations"].items()}
+        )
+        weights._purged.update(cred["purged"])
+    else:
+        weights = RecommenderWeights(
+            alliances=alliances,
+            ally_weight=float(data["ally_weight"]),
+            default_accuracy=float(data["default_accuracy"]),
+            learning_rate=float(data["learning_rate"]),
+            domains=domains,
+        )
+    for entity, accuracy in data.get("accuracy", {}).items():
+        weights._accuracy[entity] = float(accuracy)
+    return weights
+
+
+def snapshot_trust_store(
+    directory: str | Path,
+    table: TrustTable,
+    weights: RecommenderWeights | None = None,
+) -> Path:
+    """Snapshot ``table`` (and optionally ``weights``) into ``directory``.
+
+    Writes one little-endian binary segment per shard per column plus a
+    ``manifest.json`` carrying the schema tag, the interned entity and
+    context lists, every shard's mutation epoch and a SHA-256 digest per
+    segment.  Returns the manifest path.
+
+    Entity identifiers and domain keys must be JSON-representable
+    (strings or integers); the Grid agents' ``"cd:0"`` convention and the
+    default CRC-32 bucketing both satisfy this.
+
+    Raises:
+        TrustStoreError: if an entity or domain key cannot be persisted.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    entities: list = []
+    entity_index: dict = {}
+    contexts: list[str] = []
+    context_index: dict[TrustContext, int] = {}
+    shards: list[dict[str, Any]] = []
+    for k, domain in enumerate(table.domains_present()):
+        if not isinstance(domain, (str, int)):
+            raise TrustStoreError(
+                f"domain key {domain!r} is not JSON-representable; use a "
+                "DomainMap resolving to str or int keys"
+            )
+        items = list(table.domain_records(domain))
+        n = len(items)
+        cols = {name: np.empty(n, dtype=dtype) for name, dtype in _COLUMNS}
+        for i, ((z, y, c), rec) in enumerate(items):
+            for entity in (z, y):
+                if not isinstance(entity, (str, int)):
+                    raise TrustStoreError(
+                        f"entity {entity!r} is not JSON-representable"
+                    )
+                if entity not in entity_index:
+                    entity_index[entity] = len(entities)
+                    entities.append(entity)
+            ci = context_index.get(c)
+            if ci is None:
+                ci = len(contexts)
+                context_index[c] = ci
+                contexts.append(c.name)
+            cols["truster"][i] = entity_index[z]
+            cols["trustee"][i] = entity_index[y]
+            cols["context"][i] = ci
+            cols["value"][i] = rec.value
+            cols["time"][i] = rec.last_transaction
+            cols["txcount"][i] = rec.transaction_count
+        column_meta: dict[str, Any] = {}
+        for name, dtype in _COLUMNS:
+            fname = f"shard-{k}.{name}.bin"
+            fpath = directory / fname
+            fpath.write_bytes(cols[name].tobytes())
+            column_meta[name] = {
+                "file": fname,
+                "dtype": dtype,
+                "sha256": _sha256(fpath),
+            }
+        shards.append(
+            {
+                "domain": domain,
+                "epoch": table.domain_epoch(domain),
+                "rows": n,
+                "columns": column_meta,
+            }
+        )
+    domain_map: dict[str, Any]
+    if table.domains.domain_of is None:
+        domain_map = {"kind": "crc32", "n_shards": table.domains.n_shards}
+    else:
+        domain_map = {"kind": "explicit"}
+    manifest: dict[str, Any] = {
+        "schema": STORE_SCHEMA,
+        "domain_map": domain_map,
+        "entities": entities,
+        "contexts": contexts,
+        "table_epoch": table.epoch,
+        "shards": shards,
+        "weights": None if weights is None else _weights_to_dict(weights),
+    }
+    manifest_path = directory / "manifest.json"
+    tmp = directory / "manifest.json.tmp"
+    tmp.write_text(json.dumps(manifest, indent=1), encoding="utf-8")
+    tmp.replace(manifest_path)
+    return manifest_path
+
+
+def load_manifest(directory: str | Path) -> dict[str, Any]:
+    """Read and structurally validate a snapshot manifest.
+
+    Raises:
+        TrustStoreError: on a missing manifest, wrong schema tag or a
+            structurally incomplete shard entry.
+    """
+    directory = Path(directory)
+    manifest_path = directory / "manifest.json"
+    if not manifest_path.is_file():
+        raise TrustStoreError(f"no trust-store manifest at {manifest_path}")
+    try:
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise TrustStoreError(f"corrupted trust-store manifest: {exc}") from exc
+    if not isinstance(manifest, dict) or manifest.get("schema") != STORE_SCHEMA:
+        raise TrustStoreError(
+            f"expected schema {STORE_SCHEMA!r}, got {manifest.get('schema')!r}"
+        )
+    for key in ("domain_map", "entities", "contexts", "table_epoch", "shards"):
+        if key not in manifest:
+            raise TrustStoreError(f"trust-store manifest missing {key!r}")
+    for shard in manifest["shards"]:
+        for key in ("domain", "epoch", "rows", "columns"):
+            if key not in shard:
+                raise TrustStoreError(
+                    f"trust-store shard entry missing {key!r}"
+                )
+        for name, _ in _COLUMNS:
+            meta = shard["columns"].get(name)
+            if meta is None or not {"file", "dtype", "sha256"} <= set(meta):
+                raise TrustStoreError(
+                    f"trust-store shard {shard['domain']!r} missing column "
+                    f"{name!r}"
+                )
+    return manifest
+
+
+@dataclass(frozen=True)
+class RestoredTrustPlane:
+    """Result of :func:`restore_trust_store`.
+
+    Attributes:
+        table: the rebuilt DTT/RTT table (dict level, for scalar paths).
+        store: a columnar mirror whose shard arrays are read-only
+            ``memmap`` views of the snapshot segments (zero copy).
+        weights: the restored factor resolver, or ``None`` when the
+            snapshot carried no weights.
+        manifest: the validated manifest dictionary.
+    """
+
+    table: TrustTable
+    store: ColumnarOpinionStore
+    weights: RecommenderWeights | None
+    manifest: dict[str, Any]
+
+
+def restore_trust_store(
+    directory: str | Path,
+    *,
+    domains: DomainMap | None = None,
+    verify: bool = True,
+) -> RestoredTrustPlane:
+    """Restore a snapshot taken by :func:`snapshot_trust_store`.
+
+    Column segments are digest-checked (unless ``verify=False``) and then
+    memory-mapped read-only; the returned store's shard arrays alias the
+    on-disk pages.  Snapshots of tables with an explicit ``domain_of``
+    resolver require the caller to pass an equivalent ``domains`` map —
+    callables do not survive JSON.
+
+    Raises:
+        TrustStoreError: on schema/structure problems, a digest mismatch,
+            a truncated segment, or a missing ``domains`` for an
+            explicit-map snapshot.
+    """
+    directory = Path(directory)
+    manifest = load_manifest(directory)
+    dm = manifest["domain_map"]
+    if dm["kind"] == "crc32":
+        if domains is None:
+            domains = DomainMap(n_shards=int(dm["n_shards"]))
+    elif domains is None:
+        raise TrustStoreError(
+            "snapshot was taken with an explicit domain resolver; pass an "
+            "equivalent DomainMap via domains="
+        )
+    entities = list(manifest["entities"])
+    contexts = [TrustContext(name) for name in manifest["contexts"]]
+    table = TrustTable(domains=domains)
+    store = ColumnarOpinionStore(table)
+    store._entities = entities
+    store._entity_index = {e: i for i, e in enumerate(entities)}
+    store._context_index = {c: i for i, c in enumerate(contexts)}
+    for shard_meta in manifest["shards"]:
+        domain = shard_meta["domain"]
+        rows = int(shard_meta["rows"])
+        arrays: dict[str, np.ndarray] = {}
+        for name, dtype in _COLUMNS:
+            meta = shard_meta["columns"][name]
+            fpath = directory / meta["file"]
+            if not fpath.is_file():
+                raise TrustStoreError(f"missing trust-store segment {fpath}")
+            if verify and _sha256(fpath) != meta["sha256"]:
+                raise TrustStoreError(
+                    f"digest mismatch for trust-store segment {fpath}; "
+                    "refusing to restore"
+                )
+            if fpath.stat().st_size != rows * 8:
+                raise TrustStoreError(
+                    f"trust-store segment {fpath} has wrong size for "
+                    f"{rows} rows"
+                )
+            mm = np.memmap(fpath, dtype=meta["dtype"], mode="r", shape=(rows,))
+            arrays[name] = mm
+        truster_ids = arrays["truster"]
+        trustee_ids = arrays["trustee"]
+        context_ids = arrays["context"]
+        values = arrays["value"]
+        times = arrays["time"]
+        txcounts = arrays["txcount"]
+        pairs: list[tuple[Hashable, Hashable]] = []
+        rec_seen: dict[Hashable, None] = {}
+        trustee_seen: dict[Hashable, None] = {}
+        for i in range(rows):
+            z = entities[truster_ids[i]]
+            y = entities[trustee_ids[i]]
+            c = contexts[context_ids[i]]
+            restored_domain = table.domain_of(y)
+            if restored_domain != domain:
+                raise TrustStoreError(
+                    f"domain map mismatch: snapshot stores {y!r} in domain "
+                    f"{domain!r}, restore resolves it to {restored_domain!r}"
+                )
+            table.record(
+                z, y, c,
+                float(values[i]),
+                float(times[i]),
+                transaction_count=int(txcounts[i]),
+            )
+            pairs.append((z, y))
+            rec_seen[z] = None
+            trustee_seen[y] = None
+        participants = tuple(rec_seen) + tuple(
+            y for y in trustee_seen if y not in rec_seen
+        )
+        # The memmap columns become the shard arrays directly — read-only
+        # views over the on-disk pages, no copy, no re-sort.
+        store._shards[domain] = _Shard(
+            domain=domain,
+            built_epoch=table.domain_epoch(domain),
+            truster=np.asarray(truster_ids),
+            trustee=np.asarray(trustee_ids),
+            context=np.asarray(context_ids),
+            values=np.asarray(values),
+            times=np.asarray(times),
+            pairs=pairs,
+            recommenders=tuple(rec_seen),
+            participants=participants,
+        )
+    store._seen_table_epoch = table.epoch
+    weights_data = manifest.get("weights")
+    weights = (
+        None if weights_data is None else _weights_from_dict(weights_data, domains)
+    )
+    if weights is not None:
+        store.set_weights(weights)
+    return RestoredTrustPlane(
+        table=table, store=store, weights=weights, manifest=manifest
+    )

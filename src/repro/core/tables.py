@@ -20,10 +20,11 @@ Helpers convert between the continuous scale and the six discrete levels of
 
 from __future__ import annotations
 
-from collections.abc import Hashable, Iterator
+from collections.abc import Hashable, Iterator, Mapping
 from dataclasses import dataclass
 
 from repro.core.context import TrustContext
+from repro.core.domains import DEFAULT_DOMAINS, DomainMap
 from repro.core.levels import TrustLevel
 from repro.errors import UnknownEntityError
 
@@ -83,23 +84,69 @@ class TrustTable:
 
     Serves as both DTT and RTT (see module docstring).  Iteration order is
     insertion order, which keeps replays deterministic.
+
+    Records are additionally bucketed by the **Grid domain of the
+    trustee** (resolved through ``domains``): every opinion about ``y``
+    lives in ``y``'s domain bucket, in the same relative order it holds
+    in the global table.  Each bucket carries its own mutation epoch, so
+    the sharded columnar mirror (:mod:`repro.core.columnar`) rebuilds
+    only the domains a mutation actually touched.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, domains: DomainMap = DEFAULT_DOMAINS) -> None:
+        self.domains = domains
         self._records: dict[tuple[EntityId, EntityId, TrustContext], TrustRecord] = {}
         self._entities: set[EntityId] = set()
         self._epoch = 0
+        self._domain_epochs: dict[Hashable, int] = {}
+        self._by_domain: dict[Hashable, dict[tuple, None]] = {}
+        self._domain_cache: dict[EntityId, Hashable] = {}
 
     @property
     def epoch(self) -> int:
         """Monotonic mutation counter, bumped by every :meth:`record`/:meth:`remove`.
 
-        The columnar kernels (:mod:`repro.core.columnar`) key their cached
-        array mirrors and memoised Γ rows on this value, so any table
-        mutation — evolution updates, adversary injections — invalidates
-        them wholesale.
+        The coarse invalidation signal: anything keyed on it is dropped
+        by *any* table mutation.  The sharded kernels prefer the
+        fine-grained :meth:`domain_epoch` counters.
         """
         return self._epoch
+
+    # -- domain sharding ---------------------------------------------------
+
+    def domain_of(self, entity: EntityId) -> Hashable:
+        """The Grid-domain key of ``entity`` (cached resolution)."""
+        domain = self._domain_cache.get(entity)
+        if domain is None:
+            domain = self.domains.resolve(entity)
+            self._domain_cache[entity] = domain
+        return domain
+
+    def domain_epoch(self, domain: Hashable) -> int:
+        """Mutation counter of one domain bucket (0 if never touched)."""
+        return self._domain_epochs.get(domain, 0)
+
+    def domain_epochs(self) -> Mapping[Hashable, int]:
+        """Read-only snapshot of every domain's mutation counter."""
+        return dict(self._domain_epochs)
+
+    def domains_present(self) -> tuple[Hashable, ...]:
+        """Domains that currently hold at least one record, in
+        first-appearance order."""
+        return tuple(d for d, bucket in self._by_domain.items() if bucket)
+
+    def domain_records(
+        self, domain: Hashable
+    ) -> Iterator[tuple[tuple[EntityId, EntityId, TrustContext], TrustRecord]]:
+        """Iterate one domain's ``(key, record)`` pairs in insertion order.
+
+        The order is the subsequence of the global insertion order whose
+        trustees fall in ``domain`` — exactly the order the scalar
+        reputation loop visits those records, which is what keeps the
+        sharded batched kernels bit-identical.
+        """
+        for key in self._by_domain.get(domain, ()):
+            yield key, self._records[key]
 
     # -- mutation ---------------------------------------------------------
 
@@ -120,16 +167,26 @@ class TrustTable:
         if truster == trustee:
             raise ValueError("an entity cannot hold a trust record about itself")
         rec = TrustRecord(value=value, last_transaction=time, transaction_count=transaction_count)
-        self._records[(truster, trustee, context)] = rec
+        key = (truster, trustee, context)
+        self._records[key] = rec
         self._entities.add(truster)
         self._entities.add(trustee)
         self._epoch += 1
+        domain = self.domain_of(trustee)
+        # dict re-assignment keeps the key's original position, matching the
+        # insertion-order semantics of the global record dict.
+        self._by_domain.setdefault(domain, {})[key] = None
+        self._domain_epochs[domain] = self._domain_epochs.get(domain, 0) + 1
         return rec
 
     def remove(self, truster: EntityId, trustee: EntityId, context: TrustContext) -> None:
         """Delete an entry; raises :class:`KeyError` if it does not exist."""
-        del self._records[(truster, trustee, context)]
+        key = (truster, trustee, context)
+        del self._records[key]
         self._epoch += 1
+        domain = self.domain_of(trustee)
+        self._by_domain.get(domain, {}).pop(key, None)
+        self._domain_epochs[domain] = self._domain_epochs.get(domain, 0) + 1
 
     # -- queries ----------------------------------------------------------
 

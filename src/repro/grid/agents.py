@@ -166,6 +166,7 @@ class AgentFleet:
         smoothing: float = 0.3,
         gamma_weights: tuple[float, float] | None = None,
         recommender_weights: "RecommenderWeights | None" = None,
+        internal_table: TrustTable | None = None,
     ) -> "AgentFleet":
         """Create a fleet covering every CD and RD of ``grid_table``.
 
@@ -181,9 +182,14 @@ class AgentFleet:
                 component (e.g. purging
                 :class:`~repro.trustfaults.credibility.CredibilityWeights`);
                 only meaningful together with ``gamma_weights``.
+            internal_table: optional pre-populated internal DTT/RTT —
+                typically restored from a persistent snapshot
+                (:func:`repro.core.store.restore_trust_store`) so a
+                restarted session resumes with its accumulated trust
+                knowledge instead of an empty table.
         """
         n_cd, n_rd, _ = grid_table.shape
-        internal = TrustTable()
+        internal = internal_table if internal_table is not None else TrustTable()
         policy = policy if policy is not None else AlwaysPublish()
         engine: TrustEngine | None = None
         if gamma_weights is not None:

@@ -67,11 +67,11 @@ class Grid:
         self.cd_required = np.array(
             [int(cd.required_level) for cd in self.client_domains], dtype=np.int64
         )
-        # Epoch-keyed trust-cost memo: rows depend only on the (immutable)
-        # domain structure and the trust table's levels, so they stay valid
-        # exactly as long as the table's mutation epoch does.
+        # Trust-cost memo with per-key CD-epoch signatures: a row depends
+        # only on its own client domain's slice of the table, so publishes
+        # to *other* CDs leave it valid.  Each entry stores the epochs of
+        # the CDs it actually reads and is re-validated lazily on lookup.
         self._tc_memo: dict = {}
-        self._tc_memo_epoch = -1
 
     def _validate(self) -> None:
         if not self.machines:
@@ -124,14 +124,15 @@ class Grid:
         expands the per-RD costs to per-machine via the machine→RD map.
         """
         key = ("row", cd_index, tuple(activities))
-        cached = self._tc_lookup(key)
+        sig = (self.trust_table.cd_epoch(cd_index),)
+        cached = self._tc_lookup(key, sig)
         if cached is not None:
             return cached.copy()
         per_rd = self.trust_table.trust_cost_row(
             cd_index, activities, self.required_per_rd(cd_index)
         )
         result = per_rd[self.machine_rd]
-        self._tc_store(key, result)
+        self._tc_store(key, sig, result)
         return result.copy()
 
     def trust_cost_matrix(
@@ -156,29 +157,34 @@ class Grid:
             )
         masks = np.asarray(activity_masks, dtype=bool)
         key = ("matrix", cds.shape, cds.tobytes(), masks.shape, masks.tobytes())
-        cached = self._tc_lookup(key)
+        table = self.trust_table
+        sig = tuple(table.cd_epoch(int(c)) for c in np.unique(cds))
+        cached = self._tc_lookup(key, sig)
         if cached is not None:
             return cached.copy()
         required = np.maximum(self.cd_required[cds][:, None], self.rd_required[None, :])
-        per_rd = self.trust_table.trust_cost_rows(cds, masks, required)
+        per_rd = table.trust_cost_rows(cds, masks, required)
         result = per_rd[:, self.machine_rd]
-        self._tc_store(key, result)
+        self._tc_store(key, sig, result)
         return result.copy()
 
-    def _tc_lookup(self, key: tuple) -> np.ndarray | None:
-        epoch = self.trust_table.epoch
-        if epoch != self._tc_memo_epoch:
-            self._tc_memo.clear()
-            self._tc_memo_epoch = epoch
+    def _tc_lookup(self, key: tuple, sig: tuple) -> np.ndarray | None:
+        entry = self._tc_memo.get(key)
+        if entry is None:
             return None
-        return self._tc_memo.get(key)
+        if entry[0] == sig:
+            return entry[1]
+        # This key's CD slice changed since the row was priced — drop
+        # just this row; rows over untouched CDs stay cached.
+        del self._tc_memo[key]
+        return None
 
-    def _tc_store(self, key: tuple, result: np.ndarray) -> None:
+    def _tc_store(self, key: tuple, sig: tuple, result: np.ndarray) -> None:
         # Wholesale eviction bounds the memo; pricing keys per round are
         # few, so this trips only under adversarial query diversity.
         if len(self._tc_memo) >= 512:
             self._tc_memo.clear()
-        self._tc_memo[key] = result
+        self._tc_memo[key] = (sig, result)
 
 
 class GridBuilder:

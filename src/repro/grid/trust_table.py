@@ -62,6 +62,7 @@ class GridTrustTable:
         )
         self._ets = ets if ets is not None else EtsTable()
         self._epoch = 0
+        self._cd_epochs: dict[int, int] = {}
 
     @property
     def epoch(self) -> int:
@@ -72,6 +73,17 @@ class GridTrustTable:
         exactly while unchanged tables reuse prior rows across rounds.
         """
         return self._epoch
+
+    def cd_epoch(self, cd: int) -> int:
+        """Mutation counter for one client domain's rows.
+
+        Bumped whenever :meth:`set` touches an entry of client domain
+        ``cd`` (and for every CD on :meth:`fill_from`).  Trust-cost rows
+        depend only on their own CD's slice of the table, so a memoised
+        row stays valid while its CD epoch does — even when publishes to
+        *other* CDs advance the global :attr:`epoch`.
+        """
+        return self._cd_epochs.get(cd, 0)
 
     # -- shape ------------------------------------------------------------
 
@@ -109,6 +121,7 @@ class GridTrustTable:
             raise ValueError("offered levels span A..E; F cannot be stored")
         self._levels[cd, rd, activity] = int(value)
         self._epoch += 1
+        self._cd_epochs[cd] = self._cd_epochs.get(cd, 0) + 1
 
     def fill_from(self, levels: np.ndarray) -> None:
         """Bulk-load the whole table from an integer array of levels.
@@ -124,6 +137,8 @@ class GridTrustTable:
             raise ValueError("offered levels must lie in [A, E] = [1, 5]")
         self._levels[...] = arr
         self._epoch += 1
+        for cd in range(self._levels.shape[0]):
+            self._cd_epochs[cd] = self._cd_epochs.get(cd, 0) + 1
 
     # -- trust queries ------------------------------------------------------
 

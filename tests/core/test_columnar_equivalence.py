@@ -21,6 +21,7 @@ from repro.core.decay import (
     NoDecay,
     StepDecay,
 )
+from repro.core.domains import DomainMap
 from repro.core.engine import TrustEngine
 from repro.core.recommender import AllianceRegistry, RecommenderWeights
 from repro.core.reputation import Reputation
@@ -142,6 +143,59 @@ def test_mid_run_evolution_invalidates_the_memo(world, data):
 
 
 @settings(max_examples=20, deadline=None)
+@given(world=trust_worlds(), data=st.data())
+def test_cross_domain_mutation_interleavings_stay_bit_identical(world, data):
+    """Interleaved mutations across many Grid domains never serve stale rows.
+
+    The sharded store invalidates per domain: a mutation in domain D must
+    refresh D's shard and exactly the memo rows whose signature touches D,
+    while every other shard's rows keep serving.  Random interleavings of
+    records, removals, outcome observations, alliance churn and resolver
+    swaps — with surface evaluations in between — must stay bit-identical
+    to the scalar oracle throughout.
+    """
+    engine, entities = world
+    weights = engine.reputation.weights
+    _assert_gamma_bit_identical(engine, entities)
+    for step in range(data.draw(st.integers(min_value=1, max_value=5))):
+        kind = data.draw(
+            st.sampled_from(
+                ("record", "remove", "outcome", "alliance", "dissolve")
+            )
+        )
+        if kind == "record":
+            i = data.draw(st.integers(0, len(entities) - 1))
+            j = data.draw(st.integers(0, len(entities) - 2))
+            trustee = entities[j if j < i else j + 1]
+            engine.table.record(
+                entities[i], trustee,
+                data.draw(st.sampled_from(CONTEXTS)),
+                data.draw(st.floats(0.0, 1.0, allow_nan=False)),
+                data.draw(st.floats(0.0, NOW, allow_nan=False)),
+            )
+        elif kind == "remove":
+            keys = [k for k, _ in engine.table.items()]
+            if keys:
+                engine.table.remove(*data.draw(st.sampled_from(keys)))
+        elif kind == "outcome":
+            weights.observe_outcome(
+                data.draw(st.sampled_from(entities)),
+                data.draw(st.floats(0.0, 1.0, allow_nan=False)),
+                data.draw(st.floats(0.0, 1.0, allow_nan=False)),
+            )
+        elif kind == "alliance":
+            weights.alliances.declare(f"late{step}", entities[:2])
+        else:
+            try:
+                weights.alliances.dissolve("g")
+            except KeyError:
+                pass
+        if data.draw(st.booleans()):
+            _assert_gamma_bit_identical(engine, entities)
+    _assert_gamma_bit_identical(engine, entities)
+
+
+@settings(max_examples=20, deadline=None)
 @given(world=trust_worlds(), cutoff=st.floats(0.0, 1.0, allow_nan=False))
 def test_source_filter_regime_matches_scalar_exactly(world, cutoff):
     """With an availability filter installed, Ω degrades identically."""
@@ -161,7 +215,10 @@ def test_source_filter_regime_matches_scalar_exactly(world, cutoff):
 
 class TestMemoInstrumentation:
     def _engine(self):
-        table = TrustTable()
+        # One Grid domain per entity, so sub-row counts are deterministic:
+        # a gamma_matrix over 4 trusters × 4 trustees computes 4 × 4 = 16
+        # sub-rows (one per truster per trustee domain).
+        table = TrustTable(domains=DomainMap(domain_of=lambda e: e))
         for i in range(4):
             for j in range(4):
                 if i != j:
@@ -172,23 +229,38 @@ class TestMemoInstrumentation:
         engine, entities = self._engine()
         registry = MetricsRegistry(enabled=True)
         engine.bind_metrics(registry)
+        n_sub = len(entities) * len(entities)  # trusters × trustee domains
         first = engine.gamma_matrix(entities, entities, CONTEXTS[0], NOW)
-        assert registry.counter("trust.batch_rows").value == len(entities)
+        assert registry.counter("trust.batch_rows").value == n_sub
         assert registry.counter("trust.memo_hits").value == 0
         second = engine.gamma_matrix(entities, entities, CONTEXTS[0], NOW)
-        assert registry.counter("trust.memo_hits").value == len(entities)
-        assert registry.counter("trust.batch_rows").value == len(entities)
+        assert registry.counter("trust.memo_hits").value == n_sub
+        assert registry.counter("trust.batch_rows").value == n_sub
         np.testing.assert_array_equal(first, second)
         assert registry.histogram(
             "trust.gamma_latency_s.kernel=batched"
         ).count == 2
 
-    def test_mutation_counts_one_wholesale_invalidation(self):
+    def test_mutation_invalidates_only_the_dirty_domain(self):
         engine, entities = self._engine()
         registry = MetricsRegistry(enabled=True)
         engine.bind_metrics(registry)
         engine.gamma_matrix(entities, entities, CONTEXTS[0], NOW)
+        # Mutating an opinion about e1 dirties exactly e1's domain: the
+        # 4 sub-rows targeting it are dropped and recomputed, the other
+        # 12 sub-rows are served from the memo.
         engine.table.record("e0", "e1", CONTEXTS[0], 0.9, 50.0)
+        engine.gamma_matrix(entities, entities, CONTEXTS[0], NOW)
+        assert registry.counter("trust.memo_invalidations").value == len(entities)
+        assert registry.counter("trust.memo_hits").value == 3 * len(entities)
+        assert registry.counter("trust.batch_rows").value == 5 * len(entities)
+
+    def test_structural_change_clears_the_memo_wholesale(self):
+        engine, entities = self._engine()
+        registry = MetricsRegistry(enabled=True)
+        engine.bind_metrics(registry)
+        engine.gamma_matrix(entities, entities, CONTEXTS[0], NOW)
+        engine.alpha, engine.beta = 0.5, 0.5
         engine.gamma_matrix(entities, entities, CONTEXTS[0], NOW)
         assert registry.counter("trust.memo_invalidations").value == 1
         assert registry.counter("trust.memo_hits").value == 0

@@ -1,0 +1,321 @@
+"""Zero-copy persistent opinion store: round-trip, refusal, normalization.
+
+The snapshot/restore pair promises that a restarted service recovers a
+trust plane whose Γ surface is *bit-identical* to the one it checkpointed
+— without replaying transaction history — and that it refuses to restore
+from a snapshot whose segments or manifest no longer match their pinned
+digests.  The hypothesis property drives random shard counts and
+post-restore mutation orders through the full snapshot → restore → mutate
+→ evaluate cycle against the scalar oracle and a from-scratch engine.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    STORE_SCHEMA,
+    ColumnarOpinionStore,
+    DomainMap,
+    TrustContext,
+    TrustEngine,
+    TrustStoreError,
+    load_manifest,
+    restore_trust_store,
+    snapshot_trust_store,
+)
+from repro.core.decay import ExponentialDecay
+from repro.core.recommender import AllianceRegistry, RecommenderWeights
+from repro.core.tables import TrustTable
+from repro.trustfaults.credibility import CredibilityWeights
+
+NOW = 100.0
+CONTEXTS = (TrustContext("c0"), TrustContext("c1"))
+
+
+def _build_world(n_entities=12, n_shards=4, n_records=40, seed=0, credibility=False):
+    rng = np.random.default_rng(seed)
+    entities = [f"e{i}" for i in range(n_entities)]
+    table = TrustTable(domains=DomainMap(n_shards=n_shards))
+    for _ in range(n_records):
+        i, j = rng.integers(0, n_entities, size=2)
+        if i == j:
+            continue
+        table.record(
+            entities[i], entities[j],
+            CONTEXTS[int(rng.integers(0, len(CONTEXTS)))],
+            float(rng.random()), float(rng.uniform(0.0, NOW - 10.0)),
+        )
+    alliances = AllianceRegistry(domains=table.domains)
+    alliances.declare("g1", entities[:3])
+    if credibility:
+        weights = CredibilityWeights(
+            alliances=alliances, purge_threshold=0.6,
+            min_observations=1, learning_rate=1.0,
+        )
+    else:
+        weights = RecommenderWeights(alliances=alliances)
+    for k in range(0, n_entities, 3):
+        weights.observe_outcome(entities[k], float(rng.random()), float(rng.random()))
+    engine = TrustEngine.build(
+        table=table, weights=weights, decay=ExponentialDecay(rate=0.01)
+    )
+    return engine, entities
+
+
+def _surface(engine, entities):
+    return np.stack(
+        [engine.gamma_matrix(entities, entities, c, NOW) for c in CONTEXTS]
+    )
+
+
+class TestRoundTrip:
+    def test_surface_is_bit_identical_after_restore(self, tmp_path):
+        engine, entities = _build_world(credibility=True)
+        before = _surface(engine, entities)
+        snapshot_trust_store(tmp_path, engine.table, engine.reputation.weights)
+        restored = restore_trust_store(tmp_path)
+        engine2 = TrustEngine.build(
+            table=restored.table, weights=restored.weights,
+            decay=ExponentialDecay(rate=0.01),
+        )
+        assert np.array_equal(_surface(engine2, entities), before)
+
+    def test_credibility_purge_state_survives(self, tmp_path):
+        engine, entities = _build_world(credibility=True)
+        weights = engine.reputation.weights
+        # Drive one recommender's accuracy under the purge threshold.
+        for _ in range(3):
+            weights.observe_outcome(entities[0], 0.0, 1.0)
+        assert weights.purged
+        snapshot_trust_store(tmp_path, engine.table, weights)
+        restored = restore_trust_store(tmp_path)
+        assert sorted(restored.weights.purged) == sorted(weights.purged)
+        assert restored.weights.factor(entities[0], entities[5]) == 0.0
+
+    def test_restored_store_serves_without_rebuild(self, tmp_path):
+        engine, entities = _build_world()
+        snapshot_trust_store(tmp_path, engine.table, engine.reputation.weights)
+        restored = restore_trust_store(tmp_path)
+        # The restored store's shards are pre-seeded at the restored
+        # table's epochs: a refresh finds nothing dirty.
+        assert restored.store.refresh() == 0
+
+    def test_explicit_domain_map_requires_caller_domains(self, tmp_path):
+        domains = DomainMap(domain_of=lambda e: str(e)[:2])
+        table = TrustTable(domains=domains)
+        table.record("ax", "by", CONTEXTS[0], 0.5, 10.0)
+        snapshot_trust_store(tmp_path, table)
+        with pytest.raises(TrustStoreError, match="explicit"):
+            restore_trust_store(tmp_path)
+        restored = restore_trust_store(tmp_path, domains=domains)
+        assert list(restored.table.items())
+
+    def test_weightless_snapshot_restores_none(self, tmp_path):
+        engine, entities = _build_world()
+        snapshot_trust_store(tmp_path, engine.table)
+        restored = restore_trust_store(tmp_path)
+        assert restored.weights is None
+
+
+@settings(max_examples=15, deadline=None)
+@given(data=st.data())
+def test_snapshot_mutate_restore_is_bit_identical(tmp_path_factory, data):
+    """snapshot → restore → mutate k domains ⇒ Γ bit-identical to fresh.
+
+    For random shard counts and mutation orders, the restored plane's
+    batched surface must equal both the scalar oracle over the restored
+    table and a from-scratch engine built over the same table — i.e. the
+    memmap-backed shards and the incremental invalidation path can never
+    drift from a cold rebuild.
+    """
+    tmp_path = tmp_path_factory.mktemp("store")
+    n_shards = data.draw(st.integers(min_value=1, max_value=8))
+    seed = data.draw(st.integers(min_value=0, max_value=2**16))
+    engine, entities = _build_world(
+        n_shards=n_shards, seed=seed, credibility=data.draw(st.booleans())
+    )
+    before = _surface(engine, entities)
+    snapshot_trust_store(tmp_path, engine.table, engine.reputation.weights)
+    restored = restore_trust_store(tmp_path)
+    engine2 = TrustEngine.build(
+        table=restored.table, weights=restored.weights,
+        decay=ExponentialDecay(rate=0.01),
+    )
+    assert np.array_equal(_surface(engine2, entities), before)
+
+    # Mutate k random domains in random order, interleaving evaluations.
+    for _ in range(data.draw(st.integers(min_value=1, max_value=6))):
+        i = data.draw(st.integers(0, len(entities) - 1))
+        j = data.draw(st.integers(0, len(entities) - 2))
+        trustee = entities[j if j < i else j + 1]
+        restored.table.record(
+            entities[i], trustee,
+            data.draw(st.sampled_from(CONTEXTS)),
+            data.draw(st.floats(0.0, 1.0, allow_nan=False)),
+            data.draw(st.floats(0.0, NOW - 1.0, allow_nan=False)),
+        )
+        if data.draw(st.booleans()):
+            _surface(engine2, entities)
+
+    incremental = _surface(engine2, entities)
+    fresh = TrustEngine.build(
+        table=restored.table, weights=restored.weights,
+        decay=ExponentialDecay(rate=0.01),
+    )
+    assert np.array_equal(incremental, _surface(fresh, entities))
+    for k, context in enumerate(CONTEXTS):
+        for i, x in enumerate(entities):
+            for j, y in enumerate(entities):
+                assert incremental[k, i, j] == engine2.gamma(x, y, context, NOW)
+
+
+class TestRefusal:
+    def _snapshot(self, tmp_path):
+        engine, entities = _build_world()
+        manifest = snapshot_trust_store(
+            tmp_path, engine.table, engine.reputation.weights
+        )
+        return manifest
+
+    def test_corrupted_segment_is_refused(self, tmp_path):
+        manifest = self._snapshot(tmp_path)
+        segment = next(tmp_path.glob("shard-*.value.bin"))
+        data = bytearray(segment.read_bytes())
+        data[0] ^= 0xFF
+        segment.write_bytes(bytes(data))
+        with pytest.raises(TrustStoreError, match="digest"):
+            restore_trust_store(tmp_path)
+        assert manifest.is_file()
+
+    def test_truncated_segment_is_refused(self, tmp_path):
+        self._snapshot(tmp_path)
+        segment = next(tmp_path.glob("shard-*.time.bin"))
+        segment.write_bytes(segment.read_bytes()[:-8])
+        with pytest.raises(TrustStoreError):
+            restore_trust_store(tmp_path)
+
+    def test_corrupted_manifest_is_refused(self, tmp_path):
+        manifest = self._snapshot(tmp_path)
+        manifest.write_text(manifest.read_text()[:-40])
+        with pytest.raises(TrustStoreError):
+            restore_trust_store(tmp_path)
+
+    def test_wrong_schema_tag_is_refused(self, tmp_path):
+        manifest = self._snapshot(tmp_path)
+        payload = json.loads(manifest.read_text())
+        payload["schema"] = "repro.trust.store/v0"
+        manifest.write_text(json.dumps(payload))
+        with pytest.raises(TrustStoreError, match="schema"):
+            load_manifest(tmp_path)
+
+    def test_missing_manifest_is_refused(self, tmp_path):
+        with pytest.raises(TrustStoreError):
+            restore_trust_store(tmp_path)
+
+    def test_unverified_restore_skips_digests(self, tmp_path):
+        """``verify=False`` trusts the directory (fast path, same values)."""
+        self._snapshot(tmp_path)
+        engine, entities = _build_world()
+        restored = restore_trust_store(tmp_path, verify=False)
+        engine2 = TrustEngine.build(
+            table=restored.table, weights=restored.weights,
+            decay=ExponentialDecay(rate=0.01),
+        )
+        assert np.array_equal(_surface(engine2, entities), _surface(engine, entities))
+
+    def test_non_json_entities_are_rejected_at_snapshot(self, tmp_path):
+        table = TrustTable()
+        table.record(("tuple", "id"), "y", CONTEXTS[0], 0.5, 1.0)
+        with pytest.raises(TrustStoreError, match="JSON"):
+            snapshot_trust_store(tmp_path, table)
+
+
+class TestEpochNormalization:
+    """Regression: ``weights=None`` vs an inert resolver are the same state."""
+
+    def _store(self):
+        engine, entities = _build_world(n_records=25)
+        store = engine.reputation.columnar_store()
+        store.refresh()
+        return engine, store, entities
+
+    def test_inert_resolver_is_the_null_state(self):
+        table = TrustTable()
+        table.record("a", "b", CONTEXTS[0], 0.5, 1.0)
+        store = ColumnarOpinionStore(table)
+        e0 = store.epoch
+        store.set_weights(RecommenderWeights())  # no accuracies, no groups
+        assert store.epoch == e0
+        store.set_weights(None)
+        assert store.epoch == e0
+
+    def test_installing_then_removing_weights_invalidates_exactly_once(self):
+        table = TrustTable()
+        table.record("a", "b", CONTEXTS[0], 0.5, 1.0)
+        store = ColumnarOpinionStore(table)
+        e0 = store.epoch
+        active = RecommenderWeights()
+        active.observe_outcome("a", 0.9, 0.2)  # non-inert: learned accuracy
+        store.set_weights(active)
+        e1 = store.epoch
+        assert e1 != e0  # exactly one state transition on install...
+        store.set_weights(active)
+        assert store.epoch == e1
+        store.set_weights(None)
+        assert store.epoch == e0  # ...and back to the normalized null state
+
+    def test_inert_install_serves_memoised_rows(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        rng = np.random.default_rng(1)
+        entities = [f"e{i}" for i in range(8)]
+        table = TrustTable()
+        for _ in range(20):
+            i, j = rng.integers(0, len(entities), size=2)
+            if i == j:
+                continue
+            table.record(
+                entities[i], entities[j], CONTEXTS[0],
+                float(rng.random()), float(rng.uniform(0.0, NOW - 10.0)),
+            )
+        engine = TrustEngine.build(table=table)  # default inert resolver
+        metrics = MetricsRegistry()
+        engine.bind_metrics(metrics)
+        engine.gamma_matrix(entities, entities, CONTEXTS[0], NOW)
+        baseline = metrics.counter("trust.memo_invalidations").value
+        hits_before = metrics.counter("trust.memo_hits").value
+        engine.reputation.weights = RecommenderWeights()  # inert-for-inert swap
+        engine.gamma_matrix(entities, entities, CONTEXTS[0], NOW)
+        assert metrics.counter("trust.memo_invalidations").value == baseline
+        assert metrics.counter("trust.memo_hits").value > hits_before
+
+
+class TestManifest:
+    def test_manifest_shape(self, tmp_path):
+        engine, entities = _build_world()
+        path = snapshot_trust_store(
+            tmp_path, engine.table, engine.reputation.weights
+        )
+        manifest = load_manifest(tmp_path)
+        assert manifest["schema"] == STORE_SCHEMA
+        assert manifest["domain_map"]["kind"] == "crc32"
+        assert manifest["shards"]
+        for shard in manifest["shards"]:
+            assert set(shard["columns"]) == {
+                "truster", "trustee", "context", "value", "time", "txcount",
+            }
+            for meta in shard["columns"].values():
+                assert (tmp_path / meta["file"]).is_file()
+                assert len(meta["sha256"]) == 64
+        assert path.name == "manifest.json"
+
+    def test_snapshot_is_deterministic(self, tmp_path):
+        engine, _ = _build_world()
+        a, b = tmp_path / "a", tmp_path / "b"
+        snapshot_trust_store(a, engine.table, engine.reputation.weights)
+        snapshot_trust_store(b, engine.table, engine.reputation.weights)
+        assert (a / "manifest.json").read_text() == (b / "manifest.json").read_text()

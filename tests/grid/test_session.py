@@ -184,3 +184,45 @@ class TestTrustKernelInstrumentation:
         session = make_session(grid=grid, fleet=fleet)
         session.run(rounds=1, requests_per_round=8)
         assert session.metrics.snapshot() == {}
+
+
+class TestTrustSnapshot:
+    """Session-level zero-copy trust persistence and restart seeding."""
+
+    def test_snapshot_and_reseed_resumes_with_knowledge(self, tmp_path):
+        from repro.core.store import restore_trust_store
+        from repro.grid.trust_table import GridTrustTable
+
+        session = make_session()
+        session.run_round(30)
+        session.run_round(30)
+        internal = session.fleet.internal_table
+        assert list(internal.items()), "rounds should populate the DTT/RTT"
+
+        manifest = session.snapshot_trust(tmp_path)
+        assert manifest.is_file()
+        restored = restore_trust_store(tmp_path)
+        assert dict(restored.table.items()) == dict(internal.items())
+
+        # A restarted fleet seeded with the restored table resumes with
+        # the accumulated trust knowledge instead of a blank slate.
+        shape = session.grid.trust_table.shape
+        fleet = AgentFleet.for_table(
+            GridTrustTable(*shape), internal_table=restored.table
+        )
+        assert fleet.internal_table is restored.table
+        assert dict(fleet.internal_table.items()) == dict(internal.items())
+
+    def test_gamma_fleet_snapshot_keeps_weights(self, tmp_path):
+        from repro.core.store import restore_trust_store
+        from repro.grid.trust_table import GridTrustTable
+
+        grid = make_grid()
+        fleet = AgentFleet.for_table(
+            grid.trust_table, gamma_weights=(0.7, 0.3)
+        )
+        session = make_session(grid=grid, fleet=fleet)
+        session.run_round(25)
+        manifest = session.snapshot_trust(tmp_path)
+        restored = restore_trust_store(tmp_path)
+        assert restored.weights is not None

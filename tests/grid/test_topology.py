@@ -1,5 +1,6 @@
 """Tests for repro.grid.topology (Grid + GridBuilder)."""
 
+import numpy as np
 import pytest
 
 from repro.core.ets import EtsTable
@@ -81,3 +82,50 @@ class TestGridQueries:
     def test_machine_rd_mapping_consistent(self, small_grid):
         for m in small_grid.machines:
             assert small_grid.machine_rd[m.index] == m.resource_domain.index
+
+
+class TestTrustCostMemoRetention:
+    """Publishes to one CD must not evict the other CDs' priced rows."""
+
+    def test_foreign_cd_publish_keeps_rows_cached(self, small_grid):
+        acts = [0]
+        row0 = small_grid.trust_cost_per_machine(0, acts)
+        small_grid.trust_cost_per_machine(1, acts)
+        assert len(small_grid._tc_memo) == 2
+        cached_entry = small_grid._tc_memo[("row", 0, (0,))]
+        small_grid.trust_table.set(1, 0, 0, "E")  # CD 1 only
+        row0_after = small_grid.trust_cost_per_machine(0, acts)
+        assert small_grid._tc_memo[("row", 0, (0,))] is cached_entry
+        assert np.array_equal(row0, row0_after)
+
+    def test_own_cd_publish_reprices_exactly(self, small_grid):
+        acts = [0]
+        before = small_grid.trust_cost_per_machine(0, acts)
+        small_grid.trust_table.set(0, 0, 0, "E")
+        after = small_grid.trust_cost_per_machine(0, acts)
+        assert not np.array_equal(before, after)
+        # The repriced row matches a memo-free recompute.
+        fresh = small_grid.trust_table.trust_cost_row(
+            0, acts, small_grid.required_per_rd(0)
+        )[small_grid.machine_rd]
+        assert np.array_equal(after, fresh)
+
+    def test_matrix_rows_survive_foreign_publishes(self, small_grid):
+        cds = np.array([0, 0])
+        masks = np.zeros((2, 3), dtype=bool)
+        masks[:, 0] = True
+        before = small_grid.trust_cost_matrix(cds, masks)
+        keys = [k for k in small_grid._tc_memo if k[0] == "matrix"]
+        assert len(keys) == 1
+        entry = small_grid._tc_memo[keys[0]]
+        small_grid.trust_table.set(1, 0, 0, "E")  # CD 1: not in the key's set
+        after = small_grid.trust_cost_matrix(cds, masks)
+        assert small_grid._tc_memo[keys[0]] is entry
+        assert np.array_equal(before, after)
+        small_grid.trust_table.set(0, 0, 0, "E")  # CD 0: must reprice
+        repriced = small_grid.trust_cost_matrix(cds, masks)
+        assert small_grid._tc_memo[keys[0]] is not entry
+        scalar_rows = np.stack(
+            [small_grid.trust_cost_per_machine(int(c), [0]) for c in cds]
+        )
+        assert np.array_equal(repriced, scalar_rows)

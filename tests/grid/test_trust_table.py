@@ -135,3 +135,20 @@ class TestVectorisedEquivalence:
         row = table.trust_cost_row(0, activities, required)
         for rd in range(n_rd):
             assert row[rd] == table.trust_cost(0, rd, activities, int(required[rd]))
+
+
+class TestPerCdEpochs:
+    def test_set_bumps_only_its_cd(self):
+        table = GridTrustTable(3, 2, 2)
+        assert [table.cd_epoch(cd) for cd in range(3)] == [0, 0, 0]
+        table.set(1, 0, 0, "C")
+        assert [table.cd_epoch(cd) for cd in range(3)] == [0, 1, 0]
+        table.set(1, 1, 1, "D")
+        assert table.cd_epoch(1) == 2 and table.cd_epoch(0) == 0
+        assert table.epoch == 2
+
+    def test_fill_from_bumps_every_cd(self):
+        table = GridTrustTable(3, 2, 2)
+        table.fill_from(np.full((3, 2, 2), 3, dtype=np.int64))
+        assert [table.cd_epoch(cd) for cd in range(3)] == [1, 1, 1]
+        assert table.epoch == 1
