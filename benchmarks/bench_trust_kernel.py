@@ -21,7 +21,10 @@ Three entry points:
   the 10⁴-entity / 16-shard case and fails unless a dirty-shard re-eval
   costs at most ``DIRTY_SMOKE_RATIO`` (0.2x) of a wholesale rebuild — the
   regression-guard analogue of the 1.5x slowdown limit, with 2x slack
-  under the artifact's 10x acceptance floor.
+  under the artifact's 10x acceptance floor.  The same case also guards
+  the durability path: a delta checkpoint (journal-tail fsync of <= 1%
+  dirty entities) must cost at most ``DELTA_SMOKE_RATIO`` (0.2x) of a
+  full snapshot rewrite.
 * ``test_trust_kernel_full_sweep`` — the real sweep; opt-in via
   ``BENCH_TRUST_FULL=1``.  Writes ``BENCH_trust.json``.
 
@@ -42,6 +45,7 @@ import pytest
 
 from repro.experiments.trustbench import (
     DEFAULT_ARTIFACT,
+    DELTA_SMOKE_RATIO,
     DIRTY_SMOKE_RATIO,
     SIZES,
     SMOKE_SLOWDOWN_LIMIT,
@@ -90,6 +94,15 @@ def test_trust_scale_smoke():
         f"{entry['wholesale_s']:.3f}s at n_entities={entry['n_entities']} "
         f"(ratio {entry['dirty_s'] / entry['wholesale_s']:.2f} > "
         f"{DIRTY_SMOKE_RATIO:g})"
+    )
+    # Delta-checkpoint regression guard: a journal-tail fsync of <= 1%
+    # dirty entities must stay far cheaper than a full snapshot rewrite.
+    ratio = entry["delta_checkpoint_s"] / entry["full_snapshot_s"]
+    assert ratio <= DELTA_SMOKE_RATIO, (
+        f"delta checkpoint cost {entry['delta_checkpoint_s']:.3f}s vs full "
+        f"snapshot {entry['full_snapshot_s']:.3f}s at "
+        f"n_entities={entry['n_entities']} (ratio {ratio:.2f} > "
+        f"{DELTA_SMOKE_RATIO:g})"
     )
 
 

@@ -28,6 +28,19 @@ from repro.core.domains import DEFAULT_DOMAINS, DEFAULT_N_SHARDS, DomainMap
 from repro.core.engine import TrustEngine
 from repro.core.ets import EtsTable, TC_MAX, TC_MIN, expected_trust_supplement, trust_cost
 from repro.core.evolution import TransactionOutcome, TrustEvolver
+from repro.core.journal import (
+    JOURNAL_SCHEMA,
+    DurableTrustPlane,
+    JournalConfig,
+    JournalReplay,
+    JournalWriter,
+    TrustJournalError,
+    apply_op,
+    attach_journal,
+    crc32c,
+    detach_journal,
+    read_journal,
+)
 from repro.core.levels import (
     MAX_LEVEL,
     MAX_OFFERED_LEVEL,
@@ -110,6 +123,17 @@ __all__ = [
     "snapshot_trust_store",
     "restore_trust_store",
     "load_manifest",
+    "JOURNAL_SCHEMA",
+    "TrustJournalError",
+    "JournalConfig",
+    "JournalReplay",
+    "JournalWriter",
+    "DurableTrustPlane",
+    "crc32c",
+    "read_journal",
+    "apply_op",
+    "attach_journal",
+    "detach_journal",
     "RecommenderWeights",
     "TrustRecord",
     "TrustTable",

@@ -52,6 +52,9 @@ class AllianceRegistry:
         self._epoch = 0
         self._domain_epochs: dict[Hashable, int] = {}
         self.token = next(_INSTANCE_TOKENS)
+        # Write-ahead journal sink (see repro.core.journal); when set,
+        # declare/dissolve append a framed delta after applying.
+        self._journal = None
 
     @property
     def epoch(self) -> int:
@@ -80,6 +83,10 @@ class AllianceRegistry:
             self._membership.setdefault(member, set()).add(name)
         self._epoch += 1
         self._bump_domains(members)
+        if self._journal is not None:
+            self._journal.append(
+                {"op": "declare", "g": name, "m": members, "e": self._epoch}
+            )
 
     def dissolve(self, name: str) -> None:
         """Remove an alliance group entirely; raises ``KeyError`` if absent."""
@@ -91,6 +98,8 @@ class AllianceRegistry:
                 del self._membership[member]
         self._epoch += 1
         self._bump_domains(group)
+        if self._journal is not None:
+            self._journal.append({"op": "dissolve", "g": name, "e": self._epoch})
 
     def allied(self, a: EntityId, b: EntityId) -> bool:
         """Whether ``a`` and ``b`` share at least one alliance group."""
@@ -169,6 +178,9 @@ class RecommenderWeights:
     _domain_epochs: dict[Hashable, int] = field(
         default_factory=dict, repr=False, compare=False
     )
+    # Write-ahead journal sink (see repro.core.journal); when set,
+    # observe_outcome appends a framed delta after applying.
+    _journal: object = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.ally_weight <= 1.0:
@@ -264,4 +276,15 @@ class RecommenderWeights:
         self._epoch += 1
         domain = self.domains.resolve(recommender)
         self._domain_epochs[domain] = self._domain_epochs.get(domain, 0) + 1
+        if self._journal is not None:
+            self._journal.append(
+                {
+                    "op": "observe",
+                    "z": recommender,
+                    "p": predicted,
+                    "a": actual,
+                    "d": domain,
+                    "e": self._domain_epochs[domain],
+                }
+            )
         return new

@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import shutil
 from collections.abc import Hashable
 from dataclasses import dataclass
 from pathlib import Path
@@ -98,6 +99,21 @@ def _weights_to_dict(weights: RecommenderWeights) -> dict[str, Any]:
             name: sorted(weights.alliances._groups[name])
             for name in sorted(weights.alliances._groups)
         },
+        # Epoch counters, persisted as [key, count] pairs (JSON object
+        # keys would coerce int domains to strings).  The write-ahead
+        # journal (repro.core.journal) verifies each replayed op against
+        # these, so a restore must reproduce them exactly — replay-derived
+        # counts undercount whenever history contained overwrites.
+        "epochs": {
+            "self": weights._epoch,
+            "domains": sorted(weights._domain_epochs.items(), key=repr),
+        },
+        "alliance_epochs": {
+            "self": weights.alliances._epoch,
+            "domains": sorted(
+                weights.alliances._domain_epochs.items(), key=repr
+            ),
+        },
     }
     purged = getattr(weights, "_purged", None)
     if purged is not None:
@@ -143,6 +159,24 @@ def _weights_from_dict(
         )
     for entity, accuracy in data.get("accuracy", {}).items():
         weights._accuracy[entity] = float(accuracy)
+    # Fast-forward the persisted epoch counters: the declare() replay
+    # above produced synthetic counts (one bump per group), but journal
+    # replay verifies ops against the *original* counters.  The persisted
+    # value is always >= the replayed one, so max() never regresses.
+    epochs = data.get("epochs")
+    if epochs is not None:
+        weights._epoch = max(weights._epoch, int(epochs["self"]))
+        for domain, count in epochs["domains"]:
+            weights._domain_epochs[domain] = max(
+                weights._domain_epochs.get(domain, 0), int(count)
+            )
+    alliance_epochs = data.get("alliance_epochs")
+    if alliance_epochs is not None:
+        alliances._epoch = max(alliances._epoch, int(alliance_epochs["self"]))
+        for domain, count in alliance_epochs["domains"]:
+            alliances._domain_epochs[domain] = max(
+                alliances._domain_epochs.get(domain, 0), int(count)
+            )
     return weights
 
 
@@ -158,6 +192,15 @@ def snapshot_trust_store(
     context lists, every shard's mutation epoch and a SHA-256 digest per
     segment.  Returns the manifest path.
 
+    The snapshot is **crash-atomic**: segments and manifest are written
+    into a temporary sibling directory (``<name>.tmp``), fsynced, and
+    swapped into place by rename — any previous snapshot at ``directory``
+    is parked as ``<name>.old`` for the instant of the swap and removed
+    once the new one is durable.  A kill at any point leaves either the
+    old snapshot or the new one restorable (see
+    :func:`restore_trust_store`'s fallback), never a half-written mix
+    that the digest check would turn into total loss.
+
     Entity identifiers and domain keys must be JSON-representable
     (strings or integers); the Grid agents' ``"cd:0"`` convention and the
     default CRC-32 bucketing both satisfy this.
@@ -165,8 +208,18 @@ def snapshot_trust_store(
     Raises:
         TrustStoreError: if an entity or domain key cannot be persisted.
     """
-    directory = Path(directory)
-    directory.mkdir(parents=True, exist_ok=True)
+    from repro.core.journal import sync_dir, sync_file
+
+    target = Path(directory)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    directory = target.parent / (target.name + ".tmp")
+    parked = target.parent / (target.name + ".old")
+    for leftover in (directory, parked):
+        if leftover.is_dir():
+            shutil.rmtree(leftover)
+        elif leftover.exists():
+            leftover.unlink()
+    directory.mkdir()
     entities: list = []
     entity_index: dict = {}
     contexts: list[str] = []
@@ -206,6 +259,7 @@ def snapshot_trust_store(
             fname = f"shard-{k}.{name}.bin"
             fpath = directory / fname
             fpath.write_bytes(cols[name].tobytes())
+            sync_file(fpath)
             column_meta[name] = {
                 "file": fname,
                 "dtype": dtype,
@@ -230,14 +284,29 @@ def snapshot_trust_store(
         "entities": entities,
         "contexts": contexts,
         "table_epoch": table.epoch,
+        # Every domain counter, including domains whose buckets are
+        # currently empty (removals leave a bumped counter behind); the
+        # per-shard "epoch" fields only cover populated domains, and the
+        # write-ahead journal needs the full map to verify replays.
+        "domain_epochs": sorted(table._domain_epochs.items(), key=repr),
         "shards": shards,
         "weights": None if weights is None else _weights_to_dict(weights),
     }
     manifest_path = directory / "manifest.json"
-    tmp = directory / "manifest.json.tmp"
-    tmp.write_text(json.dumps(manifest, indent=1), encoding="utf-8")
-    tmp.replace(manifest_path)
-    return manifest_path
+    manifest_path.write_text(json.dumps(manifest, indent=1), encoding="utf-8")
+    sync_file(manifest_path)
+    sync_dir(directory)
+    # Swap the fsynced tmp directory into place.  The rename pair is the
+    # only non-durable window, and both sides of it are complete
+    # snapshots: before the parent fsync lands a crash may resurface the
+    # old state, never a torn one.
+    if target.exists():
+        target.rename(parked)
+    directory.rename(target)
+    sync_dir(target.parent)
+    if parked.exists():
+        shutil.rmtree(parked)
+    return target / "manifest.json"
 
 
 def load_manifest(directory: str | Path) -> dict[str, Any]:
@@ -254,7 +323,9 @@ def load_manifest(directory: str | Path) -> dict[str, Any]:
     try:
         manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
     except json.JSONDecodeError as exc:
-        raise TrustStoreError(f"corrupted trust-store manifest: {exc}") from exc
+        raise TrustStoreError(
+            f"corrupted trust-store manifest {manifest_path}: {exc}"
+        ) from exc
     if not isinstance(manifest, dict) or manifest.get("schema") != STORE_SCHEMA:
         raise TrustStoreError(
             f"expected schema {STORE_SCHEMA!r}, got {manifest.get('schema')!r}"
@@ -317,6 +388,14 @@ def restore_trust_store(
             explicit-map snapshot.
     """
     directory = Path(directory)
+    if not (directory / "manifest.json").is_file():
+        # Recovery-ladder fallback: a crash between the two renames of an
+        # atomic re-snapshot leaves the previous (complete, fsynced)
+        # snapshot parked as "<name>.old" — restore that rather than
+        # refusing over a target the swap never finished.
+        parked = directory.parent / (directory.name + ".old")
+        if (parked / "manifest.json").is_file():
+            directory = parked
     manifest = load_manifest(directory)
     dm = manifest["domain_map"]
     if dm["kind"] == "crc32":
@@ -334,6 +413,7 @@ def restore_trust_store(
     store._entities = entities
     store._entity_index = {e: i for i, e in enumerate(entities)}
     store._context_index = {c: i for i, c in enumerate(contexts)}
+    shard_builds: list[tuple[Hashable, dict[str, np.ndarray], list, dict, tuple]] = []
     for shard_meta in manifest["shards"]:
         domain = shard_meta["domain"]
         rows = int(shard_meta["rows"])
@@ -386,16 +466,31 @@ def restore_trust_store(
         participants = tuple(rec_seen) + tuple(
             y for y in trustee_seen if y not in rec_seen
         )
+        shard_builds.append((domain, arrays, pairs, rec_seen, participants))
+    # Fast-forward the epoch counters to their persisted values *before*
+    # building shards: the record() replay above bumped them once per
+    # surviving row, which undercounts any history with overwrites or
+    # removals.  The write-ahead journal verifies replayed ops against
+    # the original counters, and a shard built under a stale epoch would
+    # be needlessly rebuilt on first use.  Persisted >= replayed always
+    # holds (every surviving record cost at least one bump), so max()
+    # never regresses a counter.
+    for domain, count in manifest.get("domain_epochs", []):
+        table._domain_epochs[domain] = max(
+            table._domain_epochs.get(domain, 0), int(count)
+        )
+    table._epoch = max(table._epoch, int(manifest["table_epoch"]))
+    for domain, arrays, pairs, rec_seen, participants in shard_builds:
         # The memmap columns become the shard arrays directly — read-only
         # views over the on-disk pages, no copy, no re-sort.
         store._shards[domain] = _Shard(
             domain=domain,
             built_epoch=table.domain_epoch(domain),
-            truster=np.asarray(truster_ids),
-            trustee=np.asarray(trustee_ids),
-            context=np.asarray(context_ids),
-            values=np.asarray(values),
-            times=np.asarray(times),
+            truster=np.asarray(arrays["truster"]),
+            trustee=np.asarray(arrays["trustee"]),
+            context=np.asarray(arrays["context"]),
+            values=np.asarray(arrays["value"]),
+            times=np.asarray(arrays["time"]),
             pairs=pairs,
             recommenders=tuple(rec_seen),
             participants=participants,

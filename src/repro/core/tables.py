@@ -101,6 +101,9 @@ class TrustTable:
         self._domain_epochs: dict[Hashable, int] = {}
         self._by_domain: dict[Hashable, dict[tuple, None]] = {}
         self._domain_cache: dict[EntityId, Hashable] = {}
+        # Write-ahead journal sink (see repro.core.journal); when set,
+        # every record/remove appends a framed delta after applying.
+        self._journal = None
 
     @property
     def epoch(self) -> int:
@@ -177,6 +180,20 @@ class TrustTable:
         # insertion-order semantics of the global record dict.
         self._by_domain.setdefault(domain, {})[key] = None
         self._domain_epochs[domain] = self._domain_epochs.get(domain, 0) + 1
+        if self._journal is not None:
+            self._journal.append(
+                {
+                    "op": "record",
+                    "z": truster,
+                    "y": trustee,
+                    "c": context.name,
+                    "v": rec.value,
+                    "t": rec.last_transaction,
+                    "n": rec.transaction_count,
+                    "d": domain,
+                    "e": self._domain_epochs[domain],
+                }
+            )
         return rec
 
     def remove(self, truster: EntityId, trustee: EntityId, context: TrustContext) -> None:
@@ -187,6 +204,17 @@ class TrustTable:
         domain = self.domain_of(trustee)
         self._by_domain.get(domain, {}).pop(key, None)
         self._domain_epochs[domain] = self._domain_epochs.get(domain, 0) + 1
+        if self._journal is not None:
+            self._journal.append(
+                {
+                    "op": "remove",
+                    "z": truster,
+                    "y": trustee,
+                    "c": context.name,
+                    "d": domain,
+                    "e": self._domain_epochs[domain],
+                }
+            )
 
     # -- queries ----------------------------------------------------------
 

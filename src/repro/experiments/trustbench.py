@@ -12,7 +12,12 @@ scheduling workload's trust plane):
   of the columnar mirror rebuilds and every memoised Γ sub-row recomputes;
 * a *dirty-shard* re-evaluation — a single domain mutated, so exactly one
   shard rebuilds and only that domain's Γ sub-rows recompute while the
-  other shards' rows are served from the epoch-keyed memo.
+  other shards' rows are served from the epoch-keyed memo;
+* a *delta checkpoint* — ``DIRTY_ENTITY_RATIO`` of the entities mutated
+  through an attached write-ahead journal, then a journal-tail fsync
+  (:meth:`~repro.core.journal.DurableTrustPlane.checkpoint`, O(changes))
+  against a full :func:`~repro.core.store.snapshot_trust_store` rewrite
+  (O(store)).
 
 The comparison is honest about its caps, and the payload records them:
 
@@ -33,6 +38,8 @@ from-scratch rebuild).
 from __future__ import annotations
 
 import json
+import shutil
+import tempfile
 import time
 from pathlib import Path
 
@@ -41,7 +48,9 @@ import numpy as np
 from repro.core.context import TrustContext
 from repro.core.decay import ExponentialDecay
 from repro.core.engine import TrustEngine
+from repro.core.journal import DurableTrustPlane, JournalConfig
 from repro.core.recommender import AllianceRegistry, RecommenderWeights
+from repro.core.store import snapshot_trust_store
 from repro.core.tables import TrustTable, level_to_value
 
 __all__ = [
@@ -56,6 +65,10 @@ __all__ = [
     "MIN_INCREMENTAL_SPEEDUP",
     "INCREMENTAL_FLOOR_SIZE",
     "DIRTY_SMOKE_RATIO",
+    "MIN_DELTA_SPEEDUP",
+    "DELTA_FLOOR_SIZE",
+    "DELTA_SMOKE_RATIO",
+    "DIRTY_ENTITY_RATIO",
     "build_case",
     "run_case",
     "run_sweep",
@@ -64,7 +77,7 @@ __all__ = [
     "write_artifact",
 ]
 
-SCHEMA = "repro.bench.trust/v2"
+SCHEMA = "repro.bench.trust/v3"
 #: Default artifact path — the repository root, next to ``BENCH_sched.json``.
 DEFAULT_ARTIFACT = Path(__file__).resolve().parents[3] / "BENCH_trust.json"
 #: Total entity counts swept (half trusters, half trustees).
@@ -92,6 +105,15 @@ INCREMENTAL_FLOOR_SIZE = 10_000
 #: wholesale rebuild (the regression-guard analogue of the 1.5x slowdown
 #: limit — 0.2 leaves 2x slack under the 10.0x artifact floor).
 DIRTY_SMOKE_RATIO = 0.2
+#: Acceptance floor: a delta checkpoint (journal-tail fsync of <= 1% dirty
+#: entities) must beat a full snapshot by this factor at the size below.
+MIN_DELTA_SPEEDUP = 10.0
+DELTA_FLOOR_SIZE = 10_000
+#: CI scale smoke: the delta checkpoint must cost at most this fraction of
+#: a full snapshot (2x slack under the 10x artifact floor).
+DELTA_SMOKE_RATIO = 0.2
+#: Fraction of entities mutated between delta checkpoints.
+DIRTY_ENTITY_RATIO = 0.01
 
 
 def build_case(
@@ -181,6 +203,58 @@ def _mutate_domain(table: TrustTable, domain, step: int) -> None:
     )
 
 
+def _time_durability(
+    table: TrustTable, weights, n_entities: int, repeats: int
+) -> tuple[float, float, int]:
+    """Time a full snapshot against a delta checkpoint on ``table``.
+
+    The delta path mutates ``DIRTY_ENTITY_RATIO`` of the entities (in-place
+    opinion overwrites, each journaled) and times
+    :meth:`~repro.core.journal.DurableTrustPlane.checkpoint` — a
+    journal-tail fsync, O(changes) — against
+    :func:`~repro.core.store.snapshot_trust_store`, which rewrites and
+    fsyncs every segment, O(store).
+
+    Returns:
+        ``(full_snapshot_s, delta_checkpoint_s, dirty_entities)``.
+    """
+    dirty_n = max(1, int(n_entities * DIRTY_ENTITY_RATIO))
+    victims = []
+    for key, rec in table.items():
+        victims.append((key, rec))
+        if len(victims) == dirty_n:
+            break
+    base = Path(tempfile.mkdtemp(prefix="trustbench-durability-"))
+    try:
+        full_s = np.inf
+        for _ in range(repeats):
+            start = time.perf_counter()
+            snapshot_trust_store(base / "full", table, weights)
+            full_s = min(full_s, time.perf_counter() - start)
+        plane = DurableTrustPlane.create(
+            base / "plane", table, weights,
+            # The sweep times the pure delta path; compaction is benched
+            # implicitly by the full-snapshot column.
+            config=JournalConfig(min_compact_bytes=1 << 40),
+        )
+        delta_s = np.inf
+        for r in range(repeats):
+            for (z, y, c), rec in victims:
+                table.record(
+                    z, y, c,
+                    (rec.value + 0.17 * (r + 1)) % 1.0,
+                    rec.last_transaction,
+                    transaction_count=rec.transaction_count,
+                )
+            start = time.perf_counter()
+            plane.checkpoint()
+            delta_s = min(delta_s, time.perf_counter() - start)
+        plane.close()
+    finally:
+        shutil.rmtree(base, ignore_errors=True)
+    return float(full_s), float(delta_s), dirty_n
+
+
 def run_case(
     n_entities: int, *, repeats: int = REPEATS, reference_rows: int = REFERENCE_ROWS,
     opinions_per_trustee: int = OPINIONS_PER_TRUSTEE, n_contexts: int = N_CONTEXTS,
@@ -256,6 +330,13 @@ def run_case(
         f"n_entities={n_entities}"
     )
 
+    # Durability: full snapshot vs delta checkpoint with <= 1% dirty
+    # entities.  Runs last — the journaled overwrites happen after the
+    # bit-identity assertions above.
+    full_snapshot_s, delta_checkpoint_s, dirty_entities = _time_durability(
+        table, engine.reputation.weights, n_entities, repeats
+    )
+
     return {
         "n_entities": n_entities,
         "n_opinions": len(list(table.items())),
@@ -271,6 +352,10 @@ def run_case(
         "wholesale_s": wholesale_s,
         "dirty_s": dirty_s,
         "incremental_speedup": wholesale_s / dirty_s,
+        "dirty_entities": dirty_entities,
+        "full_snapshot_s": full_snapshot_s,
+        "delta_checkpoint_s": delta_checkpoint_s,
+        "delta_speedup": full_snapshot_s / delta_checkpoint_s,
     }
 
 
@@ -317,6 +402,8 @@ def validate_trust_payload(payload: dict) -> None:
             "truster_rows", "scalar_rows", "scalar_s", "scalar_row_s",
             "batched_s", "batched_row_s", "speedup",
             "wholesale_s", "dirty_s", "incremental_speedup",
+            "dirty_entities", "full_snapshot_s", "delta_checkpoint_s",
+            "delta_speedup",
         }
         assert entry["n_entities"] >= 4
         assert entry["n_opinions"] > 0
@@ -355,6 +442,21 @@ def validate_trust_payload(payload: dict) -> None:
                 f"acceptance floor at n_entities={entry['n_entities']}: "
                 f"{entry['incremental_speedup']:.2f}x"
             )
+        assert 1 <= entry["dirty_entities"] <= max(
+            1, entry["n_entities"] // 100
+        )
+        assert entry["full_snapshot_s"] > 0
+        assert entry["delta_checkpoint_s"] > 0
+        assert np.isclose(
+            entry["delta_speedup"],
+            entry["full_snapshot_s"] / entry["delta_checkpoint_s"],
+        )
+        if entry["n_entities"] >= DELTA_FLOOR_SIZE:
+            assert entry["delta_speedup"] >= MIN_DELTA_SPEEDUP, (
+                f"delta checkpoint below the {MIN_DELTA_SPEEDUP:g}x "
+                f"acceptance floor at n_entities={entry['n_entities']}: "
+                f"{entry['delta_speedup']:.2f}x vs a full snapshot"
+            )
 
 
 def render_sweep(payload: dict) -> str:
@@ -375,7 +477,11 @@ def render_sweep(payload: dict) -> str:
             f"{scalar}  batched {entry['batched_row_s'] * 1e3:9.3f} ms/row  "
             f"speedup {speedup}  incremental {entry['incremental_speedup']:6.1f}x "
             f"(wholesale {entry['wholesale_s'] * 1e3:9.2f} ms, "
-            f"dirty {entry['dirty_s'] * 1e3:9.2f} ms)"
+            f"dirty {entry['dirty_s'] * 1e3:9.2f} ms)  "
+            f"delta-ckpt {entry['delta_speedup']:6.1f}x "
+            f"(full {entry['full_snapshot_s'] * 1e3:9.2f} ms, "
+            f"delta {entry['delta_checkpoint_s'] * 1e3:9.2f} ms, "
+            f"{entry['dirty_entities']} dirty)"
         )
     return "\n".join(lines)
 

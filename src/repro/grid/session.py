@@ -329,6 +329,49 @@ CredibilityWeights`, recommenders are scored against every realised
             directory, self.fleet.internal_table, weights
         )
 
+    def journal_trust(self, root, *, config=None, metrics=None):
+        """Make the session's trust plane crash-durable under ``root``.
+
+        Provisions a :class:`~repro.core.journal.DurableTrustPlane` over
+        the fleet's shared internal DTT/RTT, the learned recommender
+        weights, and the grid's published TL table: one base snapshot,
+        then a write-ahead journal frame per mutation the rounds produce.
+        Call :meth:`checkpoint_trust` per round (or window) to fsync the
+        delta — O(mutations since last checkpoint), not O(store).  The
+        returned plane is also stored on the session as
+        ``self.trust_plane``.
+        """
+        from repro.core.journal import DurableTrustPlane
+
+        assert self.fleet is not None
+        engine = self.fleet.cd_agents[0].engine if self.fleet.cd_agents else None
+        weights = engine.reputation.weights if engine is not None else None
+        self.trust_plane = DurableTrustPlane.create(
+            root,
+            self.fleet.internal_table,
+            weights,
+            grid_table=self.grid.trust_table,
+            config=config,
+            metrics=metrics,
+        )
+        return self.trust_plane
+
+    def checkpoint_trust(self):
+        """Delta-checkpoint the plane provisioned by :meth:`journal_trust`.
+
+        Returns the descriptor dict (root / generation / durable offset /
+        base digest); raises :class:`~repro.errors.ServiceError` when no
+        plane is attached.
+        """
+        from repro.errors import ServiceError
+
+        plane = getattr(self, "trust_plane", None)
+        if plane is None:
+            raise ServiceError(
+                "no durable trust plane attached; call journal_trust first"
+            )
+        return plane.checkpoint()
+
     def run_round(self, n_requests: int) -> RoundResult:
         """Generate, schedule and score one round of ``n_requests``.
 

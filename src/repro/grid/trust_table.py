@@ -63,6 +63,9 @@ class GridTrustTable:
         self._ets = ets if ets is not None else EtsTable()
         self._epoch = 0
         self._cd_epochs: dict[int, int] = {}
+        # Write-ahead journal sink (see repro.core.journal); when set,
+        # set/fill_from append a framed delta after applying.
+        self._journal = None
 
     @property
     def epoch(self) -> int:
@@ -122,6 +125,17 @@ class GridTrustTable:
         self._levels[cd, rd, activity] = int(value)
         self._epoch += 1
         self._cd_epochs[cd] = self._cd_epochs.get(cd, 0) + 1
+        if self._journal is not None:
+            self._journal.append(
+                {
+                    "op": "set",
+                    "cd": cd,
+                    "rd": rd,
+                    "k": activity,
+                    "l": int(value),
+                    "e": self._cd_epochs[cd],
+                }
+            )
 
     def fill_from(self, levels: np.ndarray) -> None:
         """Bulk-load the whole table from an integer array of levels.
@@ -139,6 +153,15 @@ class GridTrustTable:
         self._epoch += 1
         for cd in range(self._levels.shape[0]):
             self._cd_epochs[cd] = self._cd_epochs.get(cd, 0) + 1
+        if self._journal is not None:
+            self._journal.append(
+                {
+                    "op": "fill",
+                    "levels": arr.ravel().tolist(),
+                    "shape": list(arr.shape),
+                    "e": self._epoch,
+                }
+            )
 
     # -- trust queries ------------------------------------------------------
 

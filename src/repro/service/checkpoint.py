@@ -33,6 +33,9 @@ __all__ = [
     "load_checkpoint",
     "attach_trust_store",
     "resolve_trust_store",
+    "attach_trust_journal",
+    "resolve_trust_journal",
+    "verify_trust_journal",
 ]
 
 #: Schema tag stamped into every checkpoint payload.
@@ -101,6 +104,13 @@ _MACHINE_KEYS = frozenset(
 #: Shape of the optional zero-copy trust-store sidecar reference.
 _TRUST_STORE_KEYS = frozenset({"schema", "manifest", "sha256"})
 
+#: Shape of the optional write-ahead trust-journal sidecar (a delta
+#: checkpoint descriptor from
+#: :meth:`~repro.core.journal.DurableTrustPlane.checkpoint`).
+_TRUST_JOURNAL_KEYS = frozenset(
+    {"schema", "root", "generation", "offset", "base_sha256"}
+)
+
 
 def validate_checkpoint(payload: Any) -> dict:
     """Structurally validate a checkpoint payload.
@@ -160,6 +170,18 @@ def validate_checkpoint(payload: Any) -> dict:
             raise CheckpointError(
                 "malformed trust_store sidecar (expected schema/manifest/"
                 "sha256)"
+            )
+    journal = payload.get("trust_journal")
+    if journal is not None:
+        if not isinstance(journal, dict) or _TRUST_JOURNAL_KEYS - journal.keys():
+            raise CheckpointError(
+                "malformed trust_journal sidecar (expected schema/root/"
+                "generation/offset/base_sha256)"
+            )
+        if journal["offset"] < 0 or journal["generation"] < 0:
+            raise CheckpointError(
+                "trust_journal sidecar offset/generation must be "
+                "non-negative"
             )
     return payload
 
@@ -222,17 +244,109 @@ def resolve_trust_store(payload: dict) -> Path | None:
     return manifest_path.parent
 
 
+def attach_trust_journal(payload: dict, plane: Any) -> dict:
+    """Attach a delta checkpoint of a durable trust plane to a checkpoint.
+
+    Calls :meth:`~repro.core.journal.DurableTrustPlane.checkpoint` on
+    ``plane`` — fsyncing only the journal tail, O(changes) not O(store) —
+    and embeds the returned descriptor (root, generation, durable offset,
+    base digest) as the ``trust_journal`` sidecar.  Returns ``payload``
+    for chaining.
+    """
+    payload["trust_journal"] = plane.checkpoint()
+    return payload
+
+
+def verify_trust_journal(sidecar: dict, plane: Any) -> None:
+    """Check a live durable trust plane against a pinned sidecar.
+
+    The plane must sit at exactly the pinned root, generation, base
+    digest and durable journal offset — i.e. be the result of
+    :func:`resolve_trust_journal` (or an untouched original).  Raises
+    :class:`~repro.errors.CheckpointError` on any divergence.
+    """
+    from repro.core.journal import JOURNAL_SCHEMA
+
+    if sidecar.get("schema") != JOURNAL_SCHEMA:
+        raise CheckpointError(
+            f"unsupported trust-journal schema {sidecar.get('schema')!r}"
+        )
+    if Path(sidecar["root"]).resolve() != Path(plane.root).resolve():
+        raise CheckpointError(
+            f"trust-journal sidecar pins root {sidecar['root']!r}, the "
+            f"attached plane lives at {str(plane.root)!r}"
+        )
+    if plane.generation != sidecar["generation"]:
+        raise CheckpointError(
+            f"trust plane is at generation {plane.generation}, checkpoint "
+            f"pinned generation {sidecar['generation']}; recover the plane "
+            "with generation= pinned to the sidecar"
+        )
+    if plane.base_digest != sidecar["base_sha256"]:
+        raise CheckpointError(
+            "trust-plane base snapshot does not match the digest pinned "
+            "in the checkpoint; refusing to resume over diverged state"
+        )
+    if plane.journal_offset != sidecar["offset"]:
+        raise CheckpointError(
+            f"trust journal is at durable offset {plane.journal_offset}, "
+            f"checkpoint pinned {sidecar['offset']}; recover the plane "
+            "with upto= pinned to the sidecar offset"
+        )
+
+
+def resolve_trust_journal(payload: dict, **recover_kwargs: Any) -> Any:
+    """Recover the durable trust plane a checkpoint's sidecar pins.
+
+    Returns a :class:`~repro.core.journal.DurableTrustPlane` rolled to
+    exactly the pinned generation and journal offset (discarding any
+    later, unacknowledged timeline), or ``None`` when the checkpoint
+    carries no ``trust_journal`` sidecar.  Extra keyword arguments
+    (``domains=``, ``grid_table=``, ``metrics=``, …) pass through to
+    :meth:`~repro.core.journal.DurableTrustPlane.recover`.
+
+    Raises:
+        CheckpointError: when the pinned root/generation/offset can no
+            longer be recovered or does not match its pinned base digest.
+    """
+    from repro.core.journal import DurableTrustPlane, TrustJournalError
+
+    sidecar = payload.get("trust_journal")
+    if sidecar is None:
+        return None
+    try:
+        plane = DurableTrustPlane.recover(
+            sidecar["root"],
+            generation=int(sidecar["generation"]),
+            upto=int(sidecar["offset"]),
+            **recover_kwargs,
+        )
+    except TrustJournalError as exc:
+        raise CheckpointError(
+            f"cannot recover the trust plane pinned by this checkpoint: "
+            f"{exc}"
+        ) from exc
+    verify_trust_journal(sidecar, plane)
+    return plane
+
+
 def save_checkpoint(payload: dict, path: str | Path) -> Path:
     """Validate ``payload`` and write it to ``path`` as JSON.
 
-    The write goes through a temporary sibling file and an atomic rename,
-    so a crash mid-write never leaves a truncated checkpoint behind.
+    The write goes through a temporary sibling file, an ``fsync``, an
+    atomic rename, and an ``fsync`` of the parent directory — rename
+    alone orders the swap but does not make it durable, so a crash after
+    a bare rename could resurface the previous checkpoint (or none).
     """
+    from repro.core.journal import sync_dir, sync_file
+
     validate_checkpoint(payload)
     path = Path(path)
     tmp = path.with_suffix(path.suffix + ".tmp")
     tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    sync_file(tmp)
     tmp.replace(path)
+    sync_dir(path.parent)
     return path
 
 

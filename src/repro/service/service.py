@@ -53,7 +53,12 @@ from repro.scheduling.result import CompletionRecord, ScheduleResult
 from repro.scheduling.scheduler import TRMScheduler
 from repro.service.admission import AdmissionController, AdmissionPolicy, ShedReason
 from repro.service.backpressure import BackpressureLatch
-from repro.service.checkpoint import CHECKPOINT_SCHEMA, validate_checkpoint
+from repro.service.checkpoint import (
+    CHECKPOINT_SCHEMA,
+    attach_trust_journal,
+    validate_checkpoint,
+    verify_trust_journal,
+)
 from repro.sim.events import Event, EventPriority
 from repro.sim.kernel import Simulator
 
@@ -191,13 +196,24 @@ class GridService:
         scheduler: the configured batch driver to run as a service.
         config: service-plane configuration; defaults to unlimited
             admission, no backpressure, counting watchdog.
+        trust_plane: optional :class:`~repro.core.journal.DurableTrustPlane`
+            whose delta checkpoints ride along in every service
+            checkpoint (``trust_journal`` sidecar) — the hot path then
+            fsyncs only the journal tail, never the full store.  On
+            :meth:`resume`, the plane must sit exactly at the sidecar's
+            pinned generation/offset (recover it through
+            :func:`~repro.service.checkpoint.resolve_trust_journal`).
     """
 
     def __init__(
-        self, scheduler: TRMScheduler, config: ServiceConfig | None = None
+        self,
+        scheduler: TRMScheduler,
+        config: ServiceConfig | None = None,
+        trust_plane: Any = None,
     ) -> None:
         self.scheduler = scheduler
         self.config = config if config is not None else ServiceConfig()
+        self.trust_plane = trust_plane
         self.metrics = scheduler.metrics
         self.admission = AdmissionController(self.config.admission)
         self.latch = (
@@ -320,6 +336,22 @@ class GridService:
             raise CheckpointError(
                 f"checkpoint has {len(payload['machines'])} machines, "
                 f"grid has {sched.grid.n_machines}"
+            )
+        journal_sidecar = payload.get("trust_journal")
+        if journal_sidecar is not None:
+            if self.trust_plane is None:
+                raise CheckpointError(
+                    "checkpoint carries a trust-journal sidecar but the "
+                    "resumed service has no durable trust plane attached; "
+                    "recover it via resolve_trust_journal and pass "
+                    "trust_plane="
+                )
+            verify_trust_journal(journal_sidecar, self.trust_plane)
+        elif self.trust_plane is not None:
+            raise CheckpointError(
+                "the resumed service has a durable trust plane but the "
+                "checkpoint carries no trust-journal sidecar; resuming "
+                "would journal onto unpinned state"
             )
 
         engine, sim = self._begin(
@@ -540,6 +572,10 @@ class GridService:
                 },
                 "rng": _jsonify_rng_state(ts._rng.bit_generator.state),
             }
+        if self.trust_plane is not None:
+            # Delta-checkpoint the durable trust plane: fsync only the
+            # journal tail (O(changes)), pin the durable offset.
+            attach_trust_journal(payload, self.trust_plane)
         return payload
 
     def _restore_trust_plane(self, payload: dict) -> None:

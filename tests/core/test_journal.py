@@ -1,0 +1,385 @@
+"""Unit tests for the trust-plane write-ahead journal.
+
+Covers the frame codec (CRC32C vectors, torn/short/corrupt tails),
+:class:`~repro.core.journal.JournalWriter` round trips and pinned-prefix
+refusal, replay epoch verification, the grid sidecar, and
+:class:`~repro.core.journal.DurableTrustPlane` lifecycle — create,
+recover, checkpoint, compaction, generation retention, and rollback to a
+pinned generation.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import pytest
+
+from repro.core.context import TrustContext
+from repro.core.journal import (
+    GRID_SIDECAR_SCHEMA,
+    JOURNAL_SCHEMA,
+    DurableTrustPlane,
+    JournalConfig,
+    JournalWriter,
+    TrustJournalError,
+    apply_op,
+    crc32c,
+    read_journal,
+)
+from repro.core.recommender import RecommenderWeights
+from repro.core.tables import TrustTable
+from repro.grid.trust_table import GridTrustTable
+from repro.obs import MetricsRegistry
+
+EXECUTE = TrustContext("execute")
+_FRAME = struct.Struct("<II")
+
+
+def _frame(payload: bytes) -> bytes:
+    return _FRAME.pack(len(payload), crc32c(payload)) + payload
+
+
+def _raw_journal(tmp_path, payloads, name="j.wal"):
+    path = tmp_path / name
+    header = json.dumps(
+        {"op": "header", "schema": JOURNAL_SCHEMA, "base": None}
+    ).encode()
+    blob = _frame(header) + b"".join(_frame(p) for p in payloads)
+    path.write_bytes(blob)
+    return path
+
+
+class TestCrc32c:
+    def test_check_vector(self):
+        # RFC 3720 test vector for the Castagnoli polynomial.
+        assert crc32c(b"123456789") == 0xE3069283
+
+    def test_empty_and_incremental(self):
+        assert crc32c(b"") == 0
+        assert crc32c(b"ab") != crc32c(b"ba")
+
+
+class TestFrameCodec:
+    def test_round_trip(self, tmp_path):
+        ops = [{"op": "record", "z": "a", "y": "b", "c": "execute",
+                "v": 0.5, "t": 1.0, "n": 1, "d": "a", "e": 1}]
+        path = _raw_journal(
+            tmp_path, [json.dumps(o, sort_keys=True).encode() for o in ops]
+        )
+        replay = read_journal(path)
+        assert replay.ops == tuple(ops)
+        assert not replay.truncated
+        assert replay.valid_bytes == path.stat().st_size
+
+    def test_short_header_truncates_to_zero_ops(self, tmp_path):
+        path = tmp_path / "j.wal"
+        path.write_bytes(b"\x04\x00")  # half a frame header
+        replay = read_journal(path)
+        assert replay.truncated
+        assert replay.header is None
+        assert replay.ops == ()
+        assert replay.valid_bytes == 0
+
+    def test_torn_payload_truncates(self, tmp_path):
+        path = _raw_journal(tmp_path, [b'{"op": "remove", "z": "a"}'])
+        good = path.stat().st_size
+        path.write_bytes(path.read_bytes() + _frame(b'{"op": "x"}')[:-3])
+        replay = read_journal(path)
+        assert replay.truncated
+        assert replay.valid_bytes == good
+        assert len(replay.ops) == 1
+
+    def test_crc_mismatch_truncates(self, tmp_path):
+        payload = b'{"op": "remove", "z": "a"}'
+        path = _raw_journal(tmp_path, [payload])
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF  # corrupt the last payload byte
+        path.write_bytes(bytes(data))
+        replay = read_journal(path)
+        assert replay.truncated
+        assert replay.reason is not None and "crc" in replay.reason.lower()
+        assert replay.ops == ()
+
+    def test_all_zero_tail_is_torn_not_fatal(self, tmp_path):
+        # crc32c(b"") == 0, so a zeroed region decodes as a "valid" empty
+        # frame; the undecodable-JSON rule must classify it as torn.
+        path = _raw_journal(tmp_path, [b'{"op": "remove", "z": "a"}'])
+        good = path.stat().st_size
+        path.write_bytes(path.read_bytes() + b"\x00" * 64)
+        replay = read_journal(path)
+        assert replay.truncated
+        assert replay.valid_bytes == good
+
+    def test_wrong_schema_refused(self, tmp_path):
+        path = tmp_path / "j.wal"
+        header = json.dumps({"op": "header", "schema": "bogus/v9"}).encode()
+        path.write_bytes(_frame(header))
+        with pytest.raises(TrustJournalError, match="schema"):
+            read_journal(path)
+
+    def test_base_mismatch_refused(self, tmp_path):
+        path = tmp_path / "j.wal"
+        header = json.dumps(
+            {"op": "header", "schema": JOURNAL_SCHEMA, "base": "aa" * 32}
+        ).encode()
+        path.write_bytes(_frame(header))
+        with pytest.raises(TrustJournalError, match="base"):
+            read_journal(path, expected_base="bb" * 32)
+
+    def test_torn_frames_counter(self, tmp_path):
+        path = _raw_journal(tmp_path, [b'{"op": "remove", "z": "a"}'])
+        path.write_bytes(path.read_bytes() + b"\xff\xff\xff\xff")
+        metrics = MetricsRegistry()
+        read_journal(path, metrics=metrics)
+        assert metrics.counter("store.torn_frames").value == 1
+
+
+class TestPinnedPrefix:
+    def test_upto_beyond_file_refused(self, tmp_path):
+        path = _raw_journal(tmp_path, [b'{"op": "remove", "z": "a"}'])
+        with pytest.raises(TrustJournalError, match="pinned"):
+            read_journal(path, upto=path.stat().st_size + 100)
+
+    def test_tear_inside_pin_refused(self, tmp_path):
+        path = _raw_journal(tmp_path, [b'{"op": "remove", "z": "a"}'])
+        size = path.stat().st_size
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(TrustJournalError, match="pinned"):
+            read_journal(path, upto=size)
+
+    def test_tear_beyond_pin_ignored(self, tmp_path):
+        path = _raw_journal(
+            tmp_path,
+            [b'{"op": "remove", "z": "a"}', b'{"op": "remove", "z": "b"}'],
+        )
+        size = path.stat().st_size
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF  # tear only the second op
+        path.write_bytes(bytes(data))
+        pin = size - len(_frame(b'{"op": "remove", "z": "b"}'))
+        # Bytes past the pin belong to an abandoned timeline: the torn
+        # frame there is sliced away, not even inspected.
+        replay = read_journal(path, upto=pin)
+        assert not replay.truncated
+        assert replay.valid_bytes == pin
+        assert len(replay.ops) == 1
+
+
+class TestJournalWriter:
+    def test_append_sync_round_trip(self, tmp_path):
+        path = tmp_path / "j.wal"
+        w = JournalWriter.create(path)
+        op = {"op": "declare", "g": "g0", "m": ["a", "b"], "e": 1}
+        w.append(op)
+        assert w.pending_bytes > 0
+        w.sync()
+        assert w.pending_bytes == 0
+        w.close()
+        assert read_journal(path).ops == (op,)
+
+    def test_unsynced_appends_not_durable(self, tmp_path):
+        path = tmp_path / "j.wal"
+        w = JournalWriter.create(path)
+        w.append({"op": "dissolve", "g": "g0", "e": 1})
+        offset = w.synced_offset
+        w.abandon()  # simulate a crash: buffered bytes are lost
+        replay = read_journal(path)
+        assert replay.ops == ()
+        assert replay.valid_bytes == offset
+
+    def test_open_truncates_torn_tail(self, tmp_path):
+        path = tmp_path / "j.wal"
+        w = JournalWriter.create(path)
+        w.append({"op": "dissolve", "g": "g0", "e": 1})
+        w.sync()
+        w.close()
+        path.write_bytes(path.read_bytes() + b"\x01\x02\x03")
+        w = JournalWriter.open(path)
+        assert path.stat().st_size == w.synced_offset
+        w.append({"op": "dissolve", "g": "g1", "e": 2})
+        w.sync()
+        w.close()
+        assert [o["g"] for o in read_journal(path).ops] == ["g0", "g1"]
+
+    def test_append_validates_field_types(self, tmp_path):
+        w = JournalWriter.create(tmp_path / "j.wal")
+        with pytest.raises(TrustJournalError):
+            w.append({"op": "declare", "g": object(), "e": 1})
+        w.close()
+
+    def test_metrics_counter(self, tmp_path):
+        metrics = MetricsRegistry()
+        w = JournalWriter.create(tmp_path / "j.wal", metrics=metrics)
+        w.append({"op": "dissolve", "g": "g0", "e": 1})
+        w.sync()
+        w.close()
+        assert metrics.counter("store.journal_appends").value == 1
+
+
+class TestApplyOp:
+    def test_epoch_mismatch_detected(self, tmp_path):
+        table = TrustTable()
+        weights = RecommenderWeights()
+        grid = GridTrustTable(2, 2, 2)
+        op = {"op": "record", "z": "a", "y": "b", "c": "execute",
+              "v": 0.5, "t": 1.0, "n": 1, "d": "a", "e": 99}
+        with pytest.raises(TrustJournalError, match="epoch"):
+            apply_op(
+                op, table=table, weights=weights, alliances=None,
+                grid_table=grid, path=tmp_path / "j.wal", index=1,
+            )
+
+    def test_unknown_op_refused(self, tmp_path):
+        with pytest.raises(TrustJournalError, match="unknown"):
+            apply_op(
+                {"op": "frobnicate", "e": 0},
+                table=TrustTable(), weights=RecommenderWeights(),
+                alliances=None, grid_table=None,
+                path=tmp_path / "j.wal", index=1,
+            )
+
+    def test_remove_missing_key_refused(self, tmp_path):
+        op = {"op": "remove", "z": "a", "y": "b", "c": "execute",
+              "d": "a", "e": 1}
+        with pytest.raises(TrustJournalError):
+            apply_op(
+                op, table=TrustTable(), weights=RecommenderWeights(),
+                alliances=None, grid_table=None,
+                path=tmp_path / "j.wal", index=1,
+            )
+
+
+def _plane(tmp_path, **kwargs):
+    table = TrustTable()
+    weights = RecommenderWeights()
+    grid = GridTrustTable(2, 3, 2)
+    return DurableTrustPlane.create(
+        tmp_path / "plane", table, weights, grid_table=grid, **kwargs
+    )
+
+
+class TestDurableTrustPlane:
+    def test_create_recover_empty(self, tmp_path):
+        plane = _plane(tmp_path)
+        plane.close()
+        rec = DurableTrustPlane.recover(tmp_path / "plane")
+        assert rec.recovered_ops == 0
+        assert rec.generation == 0
+        rec.close()
+
+    def test_mutations_replay(self, tmp_path):
+        plane = _plane(tmp_path)
+        plane.table.record("a", "b", EXECUTE, 0.7, 1.0)
+        plane.weights.observe_outcome("a", 0.8, 0.6)
+        plane.weights.alliances.declare("g0", ["a", "b"])
+        plane.grid_table.set(0, 1, 0, 3)
+        plane.checkpoint()
+        plane.close()
+        rec = DurableTrustPlane.recover(tmp_path / "plane")
+        assert rec.recovered_ops == 4
+        assert rec.table.get("a", "b", EXECUTE).value == 0.7
+        assert "a" in rec.weights._accuracy
+        assert sorted(rec.weights.alliances._groups["g0"]) == ["a", "b"]
+        assert int(rec.grid_table.levels[0, 1, 0]) == 3
+        # Epoch counters restore exactly, not merely >= replay counts.
+        assert rec.table.epoch == plane.table.epoch
+        assert rec.grid_table.epoch == plane.grid_table.epoch
+        rec.close()
+
+    def test_unsynced_tail_lost_on_recovery(self, tmp_path):
+        plane = _plane(tmp_path)
+        plane.table.record("a", "b", EXECUTE, 0.7, 1.0)
+        plane.checkpoint()
+        plane.table.record("a", "c", EXECUTE, 0.9, 2.0)  # never synced
+        rec = DurableTrustPlane.recover(tmp_path / "plane")
+        assert rec.recovered_ops == 1
+        assert rec.table.get("a", "c", EXECUTE) is None
+        rec.close()
+
+    def test_grid_sidecar_written_and_restored(self, tmp_path):
+        plane = _plane(tmp_path)
+        sidecar = tmp_path / "plane" / "base-0" / "grid.json"
+        data = json.loads(sidecar.read_text())
+        assert data["schema"] == GRID_SIDECAR_SCHEMA
+        assert data["shape"] == [2, 3, 2]
+        plane.close()
+
+    def test_compaction_folds_tail_and_prunes(self, tmp_path):
+        plane = _plane(
+            tmp_path,
+            config=JournalConfig(keep_generations=0, min_compact_bytes=1 << 30),
+        )
+        for i in range(6):
+            plane.table.record("a", f"b{i}", EXECUTE, 0.5, float(i + 1))
+        plane.checkpoint()
+        plane.compact()
+        root = tmp_path / "plane"
+        assert json.loads((root / "CURRENT").read_text())["generation"] == 1
+        assert not (root / "base-0").exists()
+        assert not (root / "journal-0.wal").exists()
+        plane.table.record("a", "z", EXECUTE, 0.9, 9.0)
+        plane.checkpoint()
+        plane.close()
+        rec = DurableTrustPlane.recover(root)
+        assert rec.generation == 1
+        assert rec.recovered_ops == 1  # only the post-compaction op replays
+        assert rec.table.get("a", "z", EXECUTE).value == 0.9
+        assert rec.table.get("a", "b3", EXECUTE).value == 0.5
+        rec.close()
+
+    def test_auto_compaction_on_checkpoint(self, tmp_path):
+        plane = _plane(
+            tmp_path,
+            config=JournalConfig(compact_ratio=1e-9, min_compact_bytes=1),
+        )
+        plane.table.record("a", "b", EXECUTE, 0.5, 1.0)
+        plane.checkpoint()
+        assert plane.generation >= 1
+        plane.close()
+
+    def test_recover_pinned_generation_rolls_back(self, tmp_path):
+        plane = _plane(
+            tmp_path, config=JournalConfig(min_compact_bytes=1 << 30)
+        )
+        plane.table.record("a", "b", EXECUTE, 0.5, 1.0)
+        pin = plane.checkpoint()
+        plane.table.record("a", "c", EXECUTE, 0.6, 2.0)
+        plane.checkpoint()
+        plane.compact()
+        plane.close()
+        rec = DurableTrustPlane.recover(
+            tmp_path / "plane",
+            generation=pin["generation"],
+            upto=pin["offset"],
+        )
+        assert rec.generation == pin["generation"] == 0
+        assert rec.recovered_ops == 1
+        assert rec.table.get("a", "c", EXECUTE) is None
+        # The abandoned newer generation is dropped from disk.
+        assert not (tmp_path / "plane" / "base-1").exists()
+        rec.close()
+
+    def test_recover_missing_current_refused(self, tmp_path):
+        (tmp_path / "plane").mkdir()
+        with pytest.raises(TrustJournalError, match="CURRENT"):
+            DurableTrustPlane.recover(tmp_path / "plane")
+
+    def test_checkpoint_payload_shape(self, tmp_path):
+        plane = _plane(tmp_path)
+        payload = plane.checkpoint()
+        assert payload["schema"] == JOURNAL_SCHEMA
+        assert payload["generation"] == 0
+        assert payload["offset"] == plane.journal_offset
+        assert payload["base_sha256"] == plane.base_digest
+        plane.close()
+
+    def test_recoveries_counter(self, tmp_path):
+        plane = _plane(tmp_path)
+        plane.close()
+        metrics = MetricsRegistry()
+        rec = DurableTrustPlane.recover(tmp_path / "plane", metrics=metrics)
+        assert metrics.counter("store.recoveries").value == 1
+        rec.close()

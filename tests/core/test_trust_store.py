@@ -10,6 +10,7 @@ post-restore mutation orders through the full snapshot → restore → mutate
 """
 
 import json
+import re
 
 import numpy as np
 import pytest
@@ -319,3 +320,108 @@ class TestManifest:
         snapshot_trust_store(a, engine.table, engine.reputation.weights)
         snapshot_trust_store(b, engine.table, engine.reputation.weights)
         assert (a / "manifest.json").read_text() == (b / "manifest.json").read_text()
+
+class TestRefusalNamesOffendingPath:
+    """Every refusal must say *which* file is bad (ISSUE: typed errors
+    naming the offending path), so an operator can triage a corrupt
+    checkpoint without bisecting the directory by hand."""
+
+    def _snapshot(self, tmp_path):
+        engine, _ = _build_world()
+        return snapshot_trust_store(
+            tmp_path, engine.table, engine.reputation.weights
+        )
+
+    def test_truncated_manifest_names_manifest(self, tmp_path):
+        manifest = self._snapshot(tmp_path)
+        manifest.write_text(manifest.read_text()[:-40])
+        with pytest.raises(TrustStoreError, match=re.escape(str(manifest))):
+            restore_trust_store(tmp_path)
+
+    def test_missing_segment_names_segment(self, tmp_path):
+        self._snapshot(tmp_path)
+        segment = next(tmp_path.glob("shard-*.value.bin"))
+        segment.unlink()
+        with pytest.raises(TrustStoreError, match=re.escape(str(segment))):
+            restore_trust_store(tmp_path)
+
+    def test_digest_mismatch_names_segment(self, tmp_path):
+        self._snapshot(tmp_path)
+        segment = next(tmp_path.glob("shard-*.txcount.bin"))
+        data = bytearray(segment.read_bytes())
+        data[-1] ^= 0x01
+        segment.write_bytes(bytes(data))
+        with pytest.raises(TrustStoreError) as exc_info:
+            restore_trust_store(tmp_path)
+        assert str(segment) in str(exc_info.value)
+        assert "digest" in str(exc_info.value)
+
+    def test_truncated_segment_names_segment(self, tmp_path):
+        self._snapshot(tmp_path)
+        segment = next(tmp_path.glob("shard-*.time.bin"))
+        segment.write_bytes(segment.read_bytes()[:-8])
+        with pytest.raises(TrustStoreError, match=re.escape(str(segment))):
+            restore_trust_store(tmp_path)
+
+    def test_missing_manifest_names_manifest(self, tmp_path):
+        with pytest.raises(
+            TrustStoreError,
+            match=re.escape(str(tmp_path / "manifest.json")),
+        ):
+            restore_trust_store(tmp_path)
+
+
+class TestAtomicSnapshot:
+    """Snapshots land via temp-sibling + fsync + atomic rename: an
+    interrupted re-snapshot never destroys the previous good one."""
+
+    def test_no_tmp_or_old_residue(self, tmp_path):
+        engine, _ = _build_world()
+        target = tmp_path / "store"
+        snapshot_trust_store(target, engine.table, engine.reputation.weights)
+        snapshot_trust_store(target, engine.table, engine.reputation.weights)
+        residue = [p.name for p in tmp_path.iterdir() if p.name != "store"]
+        assert residue == []
+
+    def test_interrupted_overwrite_keeps_previous_snapshot(self, tmp_path):
+        from repro.core.journal import set_sync_hook
+
+        engine, entities = _build_world()
+        target = tmp_path / "store"
+        snapshot_trust_store(target, engine.table, engine.reputation.weights)
+        before = (target / "manifest.json").read_bytes()
+        engine.table.record(entities[0], entities[1], CONTEXTS[0], 0.9, 99.0)
+
+        class Boom(BaseException):
+            pass
+
+        calls = 0
+
+        def hook(phase, kind, path):
+            nonlocal calls
+            if calls == 0 and phase == "before":
+                calls += 1
+                raise Boom
+
+        set_sync_hook(hook)
+        try:
+            with pytest.raises(Boom):
+                snapshot_trust_store(
+                    target, engine.table, engine.reputation.weights
+                )
+        finally:
+            set_sync_hook(None)
+        # The first fsync died before any rename: the old snapshot is
+        # untouched and still restores.
+        assert (target / "manifest.json").read_bytes() == before
+        restore_trust_store(target)
+
+    def test_leftover_tmp_from_crash_is_cleaned(self, tmp_path):
+        engine, _ = _build_world()
+        target = tmp_path / "store"
+        stale = tmp_path / "store.tmp"
+        stale.mkdir()
+        (stale / "junk.bin").write_bytes(b"\x00" * 16)
+        snapshot_trust_store(target, engine.table, engine.reputation.weights)
+        assert not stale.exists()
+        restore_trust_store(target)

@@ -321,3 +321,165 @@ class TestTrustStoreSidecar:
         restored = restore_trust_store(directory)
         record = restored.table.get("cd:0", "rd:0", EXECUTION)
         assert record is not None and record.value == 0.7
+
+
+class TestTrustJournalSidecar:
+    """Delta checkpoints: the ``trust_journal`` sidecar pins a durable
+    trust plane by root, generation, base digest, and journal offset."""
+
+    def _plane(self, tmp_path):
+        from repro.core import DurableTrustPlane, TrustTable
+        from repro.core.context import EXECUTION
+        from repro.core.recommender import RecommenderWeights
+
+        table = TrustTable()
+        plane = DurableTrustPlane.create(
+            tmp_path / "plane", table, RecommenderWeights()
+        )
+        table.record("cd:0", "rd:0", EXECUTION, 0.7, 10.0)
+        table.record("cd:1", "rd:0", EXECUTION, 0.4, 20.0)
+        return plane
+
+    def test_attach_resolve_round_trip(self, tmp_path, medium_scenario):
+        from repro.core.context import EXECUTION
+        from repro.service.checkpoint import (
+            attach_trust_journal,
+            resolve_trust_journal,
+        )
+
+        plane = self._plane(tmp_path)
+        payload = kill(medium_scenario, 1)
+        attach_trust_journal(payload, plane)
+        validate_checkpoint(payload)
+        plane.close()
+        path = save_checkpoint(payload, tmp_path / "svc.json")
+        loaded = load_checkpoint(path)
+        recovered = resolve_trust_journal(loaded)
+        assert recovered is not None
+        record = recovered.table.get("cd:0", "rd:0", EXECUTION)
+        assert record is not None and record.value == 0.7
+        recovered.close()
+
+    def test_resolve_without_sidecar_is_none(self, medium_scenario):
+        from repro.service.checkpoint import resolve_trust_journal
+
+        assert resolve_trust_journal(kill(medium_scenario, 1)) is None
+
+    def test_unacknowledged_tail_is_rolled_back(self, tmp_path, medium_scenario):
+        from repro.core.context import EXECUTION
+        from repro.service.checkpoint import (
+            attach_trust_journal,
+            resolve_trust_journal,
+        )
+
+        plane = self._plane(tmp_path)
+        payload = kill(medium_scenario, 1)
+        attach_trust_journal(payload, plane)
+        # Writes after the acknowledged checkpoint belong to a timeline
+        # the service is about to re-execute: resolve discards them.
+        plane.table.record("cd:2", "rd:1", EXECUTION, 0.9, 30.0)
+        plane.checkpoint()
+        plane.close()
+        recovered = resolve_trust_journal(json.loads(json.dumps(payload)))
+        assert recovered.table.get("cd:2", "rd:1", EXECUTION) is None
+        assert recovered.table.get("cd:0", "rd:0", EXECUTION).value == 0.7
+        recovered.close()
+
+    def test_pinned_generation_survives_compaction(self, tmp_path, medium_scenario):
+        from repro.core.context import EXECUTION
+        from repro.service.checkpoint import (
+            attach_trust_journal,
+            resolve_trust_journal,
+        )
+
+        plane = self._plane(tmp_path)
+        payload = kill(medium_scenario, 1)
+        attach_trust_journal(payload, plane)
+        plane.table.record("cd:2", "rd:1", EXECUTION, 0.9, 30.0)
+        plane.checkpoint()
+        plane.compact()  # folds the tail into a new base generation
+        plane.close()
+        recovered = resolve_trust_journal(json.loads(json.dumps(payload)))
+        assert recovered.generation == payload["trust_journal"]["generation"]
+        assert recovered.table.get("cd:2", "rd:1", EXECUTION) is None
+        recovered.close()
+
+    def test_torn_pinned_prefix_is_refused(self, tmp_path, medium_scenario):
+        from repro.service.checkpoint import (
+            attach_trust_journal,
+            resolve_trust_journal,
+        )
+
+        plane = self._plane(tmp_path)
+        payload = kill(medium_scenario, 1)
+        attach_trust_journal(payload, plane)
+        plane.close()
+        journal = tmp_path / "plane" / "journal-0.wal"
+        data = bytearray(journal.read_bytes())
+        data[-1] ^= 0xFF  # tear inside the acknowledged prefix
+        journal.write_bytes(bytes(data))
+        with pytest.raises(CheckpointError, match="pinned"):
+            resolve_trust_journal(payload)
+
+    def test_malformed_sidecar_is_rejected(self, medium_scenario):
+        from repro.core.journal import JOURNAL_SCHEMA
+
+        payload = kill(medium_scenario, 1)
+        payload["trust_journal"] = {"schema": JOURNAL_SCHEMA}
+        with pytest.raises(CheckpointError, match="sidecar"):
+            validate_checkpoint(payload)
+
+    def test_service_checkpoint_embeds_sidecar(self, tmp_path, medium_scenario):
+        plane = self._plane(tmp_path)
+        service = build_service(medium_scenario)
+        service.trust_plane = plane
+        with pytest.raises(ServiceKilled) as exc:
+            service.serve(medium_scenario.requests, kill_after_window=1)
+        payload = exc.value.checkpoint
+        validate_checkpoint(payload)
+        sidecar = payload["trust_journal"]
+        assert sidecar["offset"] == plane.journal_offset
+        assert sidecar["base_sha256"] == plane.base_digest
+        plane.close()
+
+    def test_resume_refuses_sidecar_without_plane(self, tmp_path, medium_scenario):
+        from repro.service.checkpoint import attach_trust_journal
+
+        plane = self._plane(tmp_path)
+        payload = kill(medium_scenario, 1)
+        attach_trust_journal(payload, plane)
+        plane.close()
+        with pytest.raises(CheckpointError, match="resolve_trust_journal"):
+            build_service(medium_scenario).resume(
+                payload, medium_scenario.requests
+            )
+
+    def test_resume_refuses_plane_without_sidecar(self, tmp_path, medium_scenario):
+        plane = self._plane(tmp_path)
+        payload = kill(medium_scenario, 1)
+        service = build_service(medium_scenario)
+        service.trust_plane = plane
+        with pytest.raises(CheckpointError, match="unpinned"):
+            service.resume(payload, medium_scenario.requests)
+        plane.close()
+
+    def test_resume_with_resolved_plane_round_trips(self, tmp_path, medium_scenario):
+        from repro.service.checkpoint import (
+            attach_trust_journal,
+            resolve_trust_journal,
+        )
+
+        plane = self._plane(tmp_path)
+        payload = kill(medium_scenario, 1)
+        attach_trust_journal(payload, plane)
+        plane.close()
+        payload = json.loads(json.dumps(payload))
+        recovered = resolve_trust_journal(payload)
+        service = build_service(medium_scenario)
+        service.trust_plane = recovered
+        resumed = service.resume(payload, medium_scenario.requests)
+        baseline = build_service(medium_scenario).serve(
+            medium_scenario.requests
+        )
+        assert_same_settlement(resumed, baseline)
+        recovered.close()
